@@ -1,0 +1,55 @@
+/**
+ * @file
+ * RQ3 reproduction (§4.4): precision and recall of the crash-site
+ * mapping oracle, measured against the injected-bug ground truth
+ * (where the paper relied on manual analysis of 58 selected and 200
+ * sampled dropped discrepancies).
+ */
+
+#include "bench_util.h"
+
+using namespace ubfuzz;
+
+int
+main()
+{
+    fuzzer::CampaignStats stats = bench::runStandardCampaign();
+    bench::header("RQ3: crash-site mapping precision / recall");
+
+    std::printf("UB programs tested:            %8zu\n",
+                stats.ubPrograms);
+    std::printf("programs with discrepancy:     %8zu\n",
+                stats.discrepantPrograms);
+    std::printf("discrepant (crash,miss) pairs: %8zu\n",
+                stats.verdictPairs);
+    std::printf("selected by the oracle:        %8zu\n",
+                stats.selectedPairs);
+    std::printf("  ... ground-truth bug-caused: %8zu\n",
+                stats.selectedTrueBug);
+    std::printf("  ... optimization-caused:     %8zu\n",
+                stats.selectedOptimization);
+    std::printf("dropped by the oracle:         %8zu\n",
+                stats.droppedPairs);
+    std::printf("  ... ground-truth bug-caused: %8zu\n",
+                stats.droppedTrueBug);
+    bench::rule();
+    double precision =
+        stats.selectedPairs
+            ? 100.0 * stats.selectedTrueBug / stats.selectedPairs
+            : 0.0;
+    double recall =
+        (stats.selectedTrueBug + stats.droppedTrueBug)
+            ? 100.0 * stats.selectedTrueBug /
+                  (stats.selectedTrueBug + stats.droppedTrueBug)
+            : 0.0;
+    std::printf("precision: %5.1f%%   recall: %5.1f%%\n", precision,
+                recall);
+    std::printf("paper: perfect precision on 58 selected "
+                "discrepancies; 100%% recall on 200 sampled dropped "
+                "ones\n");
+    std::printf("note: the residual optimization-caused selections "
+                "stem from GCC -O3 lifetime hoisting invalidating "
+                "use-after-scope — the exact mechanism of the paper's "
+                "one invalid report (Figure 8)\n");
+    return 0;
+}

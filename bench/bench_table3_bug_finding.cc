@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Table 3 reproduction (RQ1, bug finding): run the full UBfuzz
+ * campaign against the simulated compilers and report found sanitizer
+ * bugs per compiler/sanitizer, alongside the paper-shaped
+ * Reported/Confirmed/Fixed/Invalid rows derived from the injected-bug
+ * catalog metadata.
+ */
+
+#include "bench_util.h"
+
+using namespace ubfuzz;
+
+int
+main()
+{
+    int seeds = bench::seedCount(120);
+    std::printf("campaign: %d seeds (set UBFUZZ_BENCH_SEEDS to "
+                "scale)\n",
+                seeds);
+    fuzzer::CampaignStats stats = bench::runStandardCampaign(seeds);
+
+    bench::header("Table 3: status of found sanitizer bugs");
+    struct Cell
+    {
+        int reported = 0, confirmed = 0, fixed = 0, invalid = 0;
+    };
+    // Columns: GCC ASan, GCC UBSan, LLVM ASan, LLVM UBSan, LLVM MSan.
+    Cell cells[5];
+    auto column = [](const san::BugInfo &b) {
+        if (b.vendor == Vendor::GCC)
+            return b.sanitizer == SanitizerKind::ASan ? 0 : 1;
+        if (b.sanitizer == SanitizerKind::ASan)
+            return 2;
+        return b.sanitizer == SanitizerKind::UBSan ? 3 : 4;
+    };
+    auto tally = [&](san::BugId id) {
+        const san::BugInfo &b = san::bugInfo(id);
+        Cell &c = cells[column(b)];
+        c.reported++;
+        if (b.confirmed)
+            c.confirmed++;
+        if (b.fixedAfterReport)
+            c.fixed++;
+    };
+    for (const auto &[id, count] : stats.bugFindingCounts)
+        tally(id);
+    for (san::BugId id : stats.wrongReportBugs)
+        if (!stats.bugFindingCounts.count(id))
+            tally(id);
+    // The oracle false alarm (Figure 8 / GCC -O3 lifetime hoisting)
+    // surfaces as findings with no injected-bug explanation; after
+    // deduplication it is one "Invalid" report against GCC ASan.
+    if (stats.invalidFindings > 0) {
+        cells[0].reported++;
+        cells[0].invalid++;
+    }
+
+    const char *cols[] = {"GCC/ASan", "GCC/UBSan", "LLVM/ASan",
+                          "LLVM/UBSan", "LLVM/MSan"};
+    std::printf("%-12s", "Status");
+    for (const char *c : cols)
+        std::printf(" %10s", c);
+    std::printf(" %7s\n", "Total");
+    bench::rule();
+    auto row = [&](const char *name, auto get) {
+        std::printf("%-12s", name);
+        int total = 0;
+        for (const Cell &c : cells) {
+            std::printf(" %10d", get(c));
+            total += get(c);
+        }
+        std::printf(" %7d\n", total);
+    };
+    row("Reported", [](const Cell &c) { return c.reported; });
+    row("Confirmed", [](const Cell &c) { return c.confirmed; });
+    row("Fixed", [](const Cell &c) { return c.fixed; });
+    row("Invalid", [](const Cell &c) { return c.invalid; });
+    bench::rule();
+    std::printf("paper (5-month campaign): Reported 9/7/6/8/1 = 31, "
+                "Confirmed 8/7/2/2/1 = 20, Fixed 3/3/0/0/0 = 6, "
+                "Invalid 1/0/0/0/0 = 1\n");
+    std::printf("injected catalog: %zu real defects; campaign found "
+                "%zu of them (plus %zu wrong-report, %s invalid)\n",
+                san::kNumBugs, stats.bugFindingCounts.size(),
+                stats.wrongReportBugs.size(),
+                stats.invalidFindings ? "1" : "0");
+    std::printf("programs: %zu UB programs tested, %zu discrepant, "
+                "%zu selected by the oracle\n",
+                stats.ubPrograms, stats.discrepantPrograms,
+                stats.oracleSelectedPrograms);
+    std::printf("\nfound bugs:\n");
+    for (const auto &[id, count] : stats.bugFindingCounts) {
+        std::printf("  %-48s %6zu findings\n", san::bugInfo(id).name,
+                    count);
+    }
+    for (san::BugId id : stats.wrongReportBugs)
+        std::printf("  %-48s (wrong-report)\n", san::bugInfo(id).name);
+    return 0;
+}

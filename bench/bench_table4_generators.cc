@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Table 4 reproduction (RQ2): number of UB programs per generator and
+ * per UB kind, with the "No UB" column, plus the Juliet-corpus
+ * FN-finding result (§4.3).
+ *
+ * UBfuzz programs carry their UB kind by construction; MUSIC mutants
+ * and Csmith-NoSafe programs are classified by the ground-truth
+ * checker — the analog of the paper running all sanitizers over them.
+ */
+
+#include "bench_util.h"
+
+#include "ast/printer.h"
+#include "corpus/juliet.h"
+#include "generator/generator.h"
+#include "ir/lowering.h"
+#include "mutation/music.h"
+#include "support/rng.h"
+#include "ubgen/ubgen.h"
+#include "vm/vm.h"
+
+using namespace ubfuzz;
+using ubgen::UBKind;
+
+namespace {
+
+struct Row
+{
+    size_t perKind[ubgen::kNumUBKinds] = {};
+    size_t total = 0;
+    size_t noUB = 0;
+};
+
+void
+classify(ast::Program &prog, Row &row)
+{
+    ast::PrintedProgram printed = ast::printProgram(prog);
+    ir::Module mod = ir::lowerProgram(prog, printed.map);
+    vm::ExecOptions opts;
+    opts.groundTruth = true;
+    opts.stepLimit = 1'000'000;
+    vm::ExecResult r = vm::execute(mod, opts);
+    if (r.kind != vm::ExecResult::Kind::Report) {
+        row.noUB++;
+        return;
+    }
+    row.perKind[static_cast<size_t>(fuzzer::kindOfReport(r.report))]++;
+    row.total++;
+}
+
+} // namespace
+
+int
+main()
+{
+    int seeds = bench::seedCount(100);
+    std::printf("seed programs per generator: %d (paper: 1000 seeds; "
+                "set UBFUZZ_BENCH_SEEDS)\n\n",
+                seeds);
+    Rng rng(2024);
+
+    Row ubfuzz_row, music_row, nosafe_row;
+
+    for (int i = 0; i < seeds; i++) {
+        uint64_t s = 7000 + static_cast<uint64_t>(i);
+        // UBfuzz: shadow statement insertion on safe seeds.
+        {
+            gen::GeneratorConfig gc;
+            gc.seed = s;
+            auto seed = gen::generateProgram(gc);
+            ubgen::UBGenerator gen(*seed);
+            for (auto &ub : gen.generateAll(rng)) {
+                if (!ubgen::validateUBProgram(ub))
+                    continue;
+                ubfuzz_row.perKind[static_cast<size_t>(ub.kind)]++;
+                ubfuzz_row.total++;
+            }
+        }
+        // MUSIC: ~14 mutants per seed (like the paper's 14k/1000).
+        {
+            gen::GeneratorConfig gc;
+            gc.seed = s;
+            auto seed = gen::generateProgram(gc);
+            for (int m = 0; m < 14; m++) {
+                auto mutant = mutation::musicMutate(*seed, rng);
+                if (mutant)
+                    classify(*mutant, music_row);
+            }
+        }
+        // Csmith-NoSafe: 14 programs per seed slot for parity.
+        for (int m = 0; m < 14; m++) {
+            gen::GeneratorConfig gc;
+            gc.seed = s * 977 + static_cast<uint64_t>(m);
+            gc.safeMath = false;
+            auto prog = gen::generateProgram(gc);
+            classify(*prog, nosafe_row);
+        }
+    }
+
+    bench::header("Table 4: UB programs per generator");
+    std::printf("%-14s", "Generator");
+    for (UBKind k : ubgen::kAllUBKinds)
+        std::printf(" %9.9s", ubgen::ubKindName(k));
+    std::printf(" %7s %6s\n", "Total", "NoUB");
+    bench::rule();
+    auto print_row = [&](const char *name, const Row &row,
+                         bool no_ub_applicable) {
+        std::printf("%-14s", name);
+        for (size_t k = 0; k < ubgen::kNumUBKinds; k++)
+            std::printf(" %9zu", row.perKind[k]);
+        if (no_ub_applicable)
+            std::printf(" %7zu %6zu\n", row.total, row.noUB);
+        else
+            std::printf(" %7zu %6s\n", row.total, "-");
+    };
+    print_row("UBfuzz", ubfuzz_row, false);
+    print_row("MUSIC", music_row, true);
+    print_row("Csmith-NoSafe", nosafe_row, true);
+    bench::rule();
+    std::printf("paper shape: UBfuzz covers all 9 kinds with ~14 UB "
+                "programs/seed; MUSIC ~95%% no-UB; NoSafe only the "
+                "three arithmetic kinds\n\n");
+
+    // §4.3: testing sanitizers with the Juliet corpus finds no bugs.
+    fuzzer::CampaignConfig jc;
+    jc.source = fuzzer::SourceMode::Juliet;
+    fuzzer::CampaignStats jstats = fuzzer::runCampaign(jc);
+    std::printf("Juliet corpus: %zu UB programs, sanitizer FN bugs "
+                "found: %zu (paper: none)\n",
+                jstats.ubPrograms, jstats.distinctBugsFound());
+    return 0;
+}

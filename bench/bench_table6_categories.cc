@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 6 reproduction: root-cause categories of the found bugs per
+ * compiler, against the full injected catalog.
+ */
+
+#include "bench_util.h"
+
+using namespace ubfuzz;
+
+int
+main()
+{
+    fuzzer::CampaignStats stats = bench::runStandardCampaign();
+    bench::header("Table 6: bug categories by root cause");
+
+    const san::BugCategory cats[] = {
+        san::BugCategory::NoSanitizerCheck,
+        san::BugCategory::IncorrectSanitizerOptimization,
+        san::BugCategory::WrongRedZoneBuffer,
+        san::BugCategory::IncorrectSanitizerCheck,
+        san::BugCategory::IncorrectExpressionFolding,
+        san::BugCategory::IncorrectOperationHandling,
+        san::BugCategory::WrongLineInformation,
+    };
+    std::printf("%-40s %10s %10s   %s\n", "Category", "GCC", "LLVM",
+                "(found / in catalog)");
+    bench::rule();
+    for (san::BugCategory cat : cats) {
+        int found[2] = {0, 0}, total[2] = {0, 0};
+        for (const san::BugInfo &b : san::bugCatalog()) {
+            if (b.category != cat)
+                continue;
+            int v = b.vendor == Vendor::GCC ? 0 : 1;
+            total[v]++;
+            if (stats.bugFindingCounts.count(b.id) ||
+                stats.wrongReportBugs.count(b.id))
+                found[v]++;
+        }
+        std::printf("%-40s   %3d / %2d   %3d / %2d\n",
+                    san::bugCategoryName(cat), found[0], total[0],
+                    found[1], total[1]);
+    }
+    bench::rule();
+    std::printf("paper: GCC 2/5/1/2/4/0/2, LLVM 2/3/1/7/1/1/0 "
+                "(catalog matches by construction; the campaign's "
+                "'found' column converges on it with scale)\n");
+    return 0;
+}

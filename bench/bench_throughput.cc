@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Toolchain throughput micro-benchmarks (google-benchmark): the raw
+ * rates behind the campaign — seed generation, printing + lowering,
+ * full sanitizer compiles, VM execution, and UB program generation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ast/printer.h"
+#include "compiler/compiler.h"
+#include "generator/generator.h"
+#include "ir/lowering.h"
+#include "support/rng.h"
+#include "ubgen/ubgen.h"
+#include "vm/vm.h"
+
+using namespace ubfuzz;
+
+static void
+BM_GenerateSeed(benchmark::State &state)
+{
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        gen::GeneratorConfig cfg;
+        cfg.seed = seed++;
+        auto prog = gen::generateProgram(cfg);
+        benchmark::DoNotOptimize(prog);
+    }
+}
+BENCHMARK(BM_GenerateSeed);
+
+static void
+BM_PrintAndLower(benchmark::State &state)
+{
+    gen::GeneratorConfig cfg;
+    cfg.seed = 42;
+    auto prog = gen::generateProgram(cfg);
+    for (auto _ : state) {
+        ast::PrintedProgram printed = ast::printProgram(*prog);
+        ir::Module mod = ir::lowerProgram(*prog, printed.map);
+        benchmark::DoNotOptimize(mod);
+    }
+}
+BENCHMARK(BM_PrintAndLower);
+
+static void
+BM_CompileAsanO2(benchmark::State &state)
+{
+    gen::GeneratorConfig cfg;
+    cfg.seed = 42;
+    auto prog = gen::generateProgram(cfg);
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    compiler::CompilerConfig cc;
+    cc.vendor = Vendor::GCC;
+    cc.level = OptLevel::O2;
+    cc.sanitizer = SanitizerKind::ASan;
+    for (auto _ : state) {
+        auto bin = compiler::compile(*prog, printed, cc);
+        benchmark::DoNotOptimize(bin);
+    }
+}
+BENCHMARK(BM_CompileAsanO2);
+
+static void
+BM_ExecuteBinary(benchmark::State &state)
+{
+    gen::GeneratorConfig cfg;
+    cfg.seed = 42;
+    auto prog = gen::generateProgram(cfg);
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    compiler::CompilerConfig cc;
+    cc.vendor = Vendor::GCC;
+    cc.level = OptLevel::O2;
+    cc.sanitizer = SanitizerKind::ASan;
+    auto bin = compiler::compile(*prog, printed, cc);
+    for (auto _ : state) {
+        auto r = vm::execute(bin.module);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_ExecuteBinary);
+
+static void
+BM_UBGenAllKinds(benchmark::State &state)
+{
+    gen::GeneratorConfig cfg;
+    cfg.seed = 42;
+    auto prog = gen::generateProgram(cfg);
+    Rng rng(1);
+    for (auto _ : state) {
+        ubgen::UBGenerator gen(*prog);
+        auto programs = gen.generateAll(rng, 2);
+        benchmark::DoNotOptimize(programs);
+    }
+}
+BENCHMARK(BM_UBGenAllKinds);
+
+BENCHMARK_MAIN();

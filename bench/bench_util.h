@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction harnesses. Every
+ * bench binary regenerates one of the paper's tables or figures; the
+ * campaign scale is controlled by UBFUZZ_BENCH_SEEDS (default tuned so
+ * each binary finishes in well under a minute).
+ */
+
+#ifndef UBFUZZ_BENCH_BENCH_UTIL_H
+#define UBFUZZ_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fuzzer/fuzzer.h"
+
+namespace ubfuzz::bench {
+
+inline int
+seedCount(int fallback = 60)
+{
+    if (const char *env = std::getenv("UBFUZZ_BENCH_SEEDS"))
+        return std::max(1, std::atoi(env));
+    return fallback;
+}
+
+inline fuzzer::CampaignStats
+runStandardCampaign(int seeds = seedCount())
+{
+    fuzzer::CampaignConfig cfg;
+    cfg.seed = 20240427; // ASPLOS'24 conference date
+    cfg.numSeeds = seeds;
+    cfg.capPerKind = 4;
+    return fuzzer::runCampaign(cfg);
+}
+
+inline void
+header(const char *title)
+{
+    std::printf("==== %s ====\n", title);
+}
+
+inline void
+rule()
+{
+    std::printf("------------------------------------------"
+                "----------------------------\n");
+}
+
+} // namespace ubfuzz::bench
+
+#endif // UBFUZZ_BENCH_BENCH_UTIL_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A miniature fuzzing campaign from the command line:
+ *
+ *   ./build/examples/campaign [numSeeds] [source]
+ *
+ * where source is one of: ubfuzz (default), music, nosafe, juliet.
+ * Prints the campaign statistics and the injected bugs it pinned.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "fuzzer/fuzzer.h"
+
+using namespace ubfuzz;
+
+int
+main(int argc, char **argv)
+{
+    fuzzer::CampaignConfig cfg;
+    cfg.seed = 1;
+    cfg.numSeeds = argc > 1 ? std::atoi(argv[1]) : 25;
+    cfg.capPerKind = 3;
+    if (argc > 2) {
+        if (!std::strcmp(argv[2], "music"))
+            cfg.source = fuzzer::SourceMode::Music;
+        else if (!std::strcmp(argv[2], "nosafe"))
+            cfg.source = fuzzer::SourceMode::CsmithNoSafe;
+        else if (!std::strcmp(argv[2], "juliet"))
+            cfg.source = fuzzer::SourceMode::Juliet;
+    }
+
+    std::printf("campaign: %d seeds, source=%s\n", cfg.numSeeds,
+                fuzzer::sourceModeName(cfg.source));
+    fuzzer::CampaignStats stats = fuzzer::runCampaign(cfg);
+
+    std::printf("\nUB programs tested:       %zu\n", stats.ubPrograms);
+    std::printf("programs without UB:      %zu\n", stats.noUB);
+    std::printf("non-triggering (skipped): %zu\n",
+                stats.nonTriggering);
+    std::printf("per kind:\n");
+    for (size_t k = 0; k < ubgen::kNumUBKinds; k++) {
+        if (stats.perKind[k]) {
+            std::printf("  %-24s %zu\n",
+                        ubgen::ubKindName(
+                            static_cast<ubgen::UBKind>(k)),
+                        stats.perKind[k]);
+        }
+    }
+    std::printf("discrepant programs:      %zu\n",
+                stats.discrepantPrograms);
+    std::printf("oracle-selected programs: %zu\n",
+                stats.oracleSelectedPrograms);
+    std::printf("distinct bugs found:      %zu\n",
+                stats.distinctBugsFound());
+    for (const auto &[id, n] : stats.bugFindingCounts) {
+        const san::BugInfo &b = san::bugInfo(id);
+        std::printf("  [%s/%s] %-44s %5zu findings\n",
+                    vendorName(b.vendor), sanitizerName(b.sanitizer),
+                    b.name, n);
+    }
+    for (san::BugId id : stats.wrongReportBugs)
+        std::printf("  [wrong-report] %s\n", san::bugInfo(id).name);
+    return 0;
+}

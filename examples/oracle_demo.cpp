@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Why differential testing alone is not enough (Challenge 2): the
+ * Figure 3 program also shows an -O0/-O2 report discrepancy, but the
+ * optimizer legitimately deleted the UB. Crash-site mapping tells the
+ * two cases apart: it flags Figure 1 and rejects Figure 3.
+ */
+
+#include <cstdio>
+
+#include "frontend/parser.h"
+#include "oracle/oracle.h"
+
+using namespace ubfuzz;
+
+static void
+analyze(const char *title, const char *source)
+{
+    auto prog = frontend::parseOrDie(source);
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    std::printf("==== %s ====\n%s", title, printed.text.c_str());
+    auto diff = oracle::runDifferential(
+        *prog, printed, oracle::testingMatrix(SanitizerKind::ASan));
+    if (!diff.hasDiscrepancy()) {
+        std::printf("-> no discrepancy\n\n");
+        return;
+    }
+    int bug = 0, opt = 0;
+    for (const auto &v : diff.verdicts)
+        (v.isBug ? bug : opt)++;
+    std::printf("-> discrepancy found; crash-site mapping: %d pair(s) "
+                "classified SANITIZER BUG, %d classified "
+                "optimization-caused\n\n",
+                bug, opt);
+}
+
+int
+main()
+{
+    // Figure 1: real FN bug — the crash site survives optimization.
+    analyze("Figure 1: a sanitizer FN bug", R"(struct a {
+    int x;
+};
+struct a b[2];
+struct a *c = &b[0];
+struct a *d = &b[0];
+int k = 0;
+int main(void) {
+    *c = b[0];
+    k = 2;
+    *c = *(d + k);
+    return c->x;
+}
+)");
+
+    // Figure 3: dead OOB store — DSE deletes the UB before the
+    // sanitizer pass, and the crash site is gone from the -O2 binary.
+    analyze("Figure 3: UB optimized away (not a bug)", R"(int main(void) {
+    int d[2];
+    int i = 2;
+    d[i] = 1;
+    return 0;
+}
+)");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Test-case reduction for a bug report (the paper's C-Reduce step,
+ * §4.1): shrink a generated UB program while the sanitizer FN finding
+ * persists, then print the before/after programs.
+ */
+
+#include <cstdio>
+
+#include "ast/printer.h"
+#include "compiler/compiler.h"
+#include "generator/generator.h"
+#include "oracle/oracle.h"
+#include "reduce/reducer.h"
+#include "support/rng.h"
+#include "ubgen/ubgen.h"
+#include "vm/vm.h"
+
+using namespace ubfuzz;
+
+namespace {
+
+/** Finding persists: GCC ASan -O0 reports and -O2 stays silent, and
+ *  the crash site is still executed at -O2. */
+bool
+findingPersists(const ast::Program &prog)
+{
+    ast::PrintedProgram printed = ast::printProgram(prog);
+    compiler::CompilerConfig base{Vendor::GCC, 0, OptLevel::O0,
+                                  SanitizerKind::ASan};
+    compiler::CompilerConfig opt{Vendor::GCC, 0, OptLevel::O2,
+                                 SanitizerKind::ASan};
+    auto r0 = vm::execute(compiler::compile(prog, printed, base).module);
+    if (!r0.crashed())
+        return false;
+    vm::ExecOptions topts;
+    topts.recordTrace = true;
+    auto r2 = vm::execute(compiler::compile(prog, printed, opt).module,
+                          topts);
+    if (r2.crashed())
+        return false;
+    return oracle::crashSiteMapping(r0.crashSite(), r2.trace);
+}
+
+} // namespace
+
+int
+main()
+{
+    // Find a seed whose UB program exhibits a GCC ASan -O2 miss.
+    Rng rng(123);
+    for (uint64_t seed = 1; seed <= 200; seed++) {
+        gen::GeneratorConfig gc;
+        gc.seed = seed;
+        auto prog = gen::generateProgram(gc);
+        ubgen::UBGenerator gen(*prog);
+        for (ubgen::UBKind kind :
+             {ubgen::UBKind::BufferOverflowPointer,
+              ubgen::UBKind::BufferOverflowArray,
+              ubgen::UBKind::UseAfterFree}) {
+            for (auto &ub : gen.generate(kind, rng, 3)) {
+                if (!ubgen::validateUBProgram(ub) ||
+                    !findingPersists(*ub.program))
+                    continue;
+                std::string before =
+                    ast::programText(*ub.program);
+                reduce::ReduceStats stats;
+                auto reduced = reduce::reduceProgram(
+                    *ub.program, findingPersists, &stats);
+                std::string after = ast::programText(*reduced);
+                std::printf("==== original (%zu bytes) ====\n%s\n",
+                            before.size(), before.c_str());
+                std::printf("==== reduced (%zu bytes; removed %d "
+                            "stmts, %d globals, %d functions; %d "
+                            "predicate runs) ====\n%s",
+                            after.size(), stats.statementsRemoved,
+                            stats.globalsRemoved,
+                            stats.functionsRemoved,
+                            stats.predicateRuns, after.c_str());
+                return 0;
+            }
+        }
+    }
+    std::printf("no reducible finding located in the seed range\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A gallery of generated UB programs: for each of the nine UB kinds,
+ * print one validated UB program with its shadow statement — a visual
+ * tour of Table 1 on real generator output.
+ */
+
+#include <cstdio>
+
+#include "ast/printer.h"
+#include "generator/generator.h"
+#include "support/rng.h"
+#include "ubgen/ubgen.h"
+
+using namespace ubfuzz;
+
+int
+main()
+{
+    Rng rng(99);
+    bool shown[ubgen::kNumUBKinds] = {};
+    for (uint64_t seed = 1; seed <= 60; seed++) {
+        gen::GeneratorConfig gc;
+        gc.seed = seed;
+        gc.maxStmtsPerBlock = 4; // keep the gallery readable
+        gc.maxGlobals = 5;
+        gc.maxFunctions = 0;
+        auto prog = gen::generateProgram(gc);
+        ubgen::UBGenerator gen(*prog);
+        for (ubgen::UBKind kind : ubgen::kAllUBKinds) {
+            if (shown[static_cast<size_t>(kind)])
+                continue;
+            for (auto &ub : gen.generate(kind, rng, 3)) {
+                if (!ubgen::validateUBProgram(ub))
+                    continue;
+                shown[static_cast<size_t>(kind)] = true;
+                ast::PrintedProgram printed =
+                    ast::printProgram(*ub.program);
+                std::printf(
+                    "==== %s (UB at %s; shadow: %s) ====\n%s\n",
+                    ubgen::ubKindName(kind),
+                    ub.expectedLoc(printed).str().c_str(),
+                    ub.shadowDesc.c_str(), printed.text.c_str());
+                break;
+            }
+        }
+    }
+    return 0;
+}

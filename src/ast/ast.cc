@@ -1,0 +1,253 @@
+#include "ast/ast.h"
+
+namespace ubfuzz::ast {
+
+const char *
+unaryOpSpelling(UnaryOp op)
+{
+    switch (op) {
+      case UnaryOp::Neg: return "-";
+      case UnaryOp::BitNot: return "~";
+      case UnaryOp::LogNot: return "!";
+      case UnaryOp::Deref: return "*";
+      case UnaryOp::AddrOf: return "&";
+    }
+    return "?";
+}
+
+const char *
+binaryOpSpelling(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Add: return "+";
+      case BinaryOp::Sub: return "-";
+      case BinaryOp::Mul: return "*";
+      case BinaryOp::Div: return "/";
+      case BinaryOp::Rem: return "%";
+      case BinaryOp::Shl: return "<<";
+      case BinaryOp::Shr: return ">>";
+      case BinaryOp::BitAnd: return "&";
+      case BinaryOp::BitOr: return "|";
+      case BinaryOp::BitXor: return "^";
+      case BinaryOp::Lt: return "<";
+      case BinaryOp::Le: return "<=";
+      case BinaryOp::Gt: return ">";
+      case BinaryOp::Ge: return ">=";
+      case BinaryOp::Eq: return "==";
+      case BinaryOp::Ne: return "!=";
+      case BinaryOp::LAnd: return "&&";
+      case BinaryOp::LOr: return "||";
+    }
+    return "?";
+}
+
+bool
+isArithOp(BinaryOp op)
+{
+    return op == BinaryOp::Add || op == BinaryOp::Sub ||
+           op == BinaryOp::Mul;
+}
+
+bool
+isDivRemOp(BinaryOp op)
+{
+    return op == BinaryOp::Div || op == BinaryOp::Rem;
+}
+
+bool
+isShiftOp(BinaryOp op)
+{
+    return op == BinaryOp::Shl || op == BinaryOp::Shr;
+}
+
+bool
+isComparisonOp(BinaryOp op)
+{
+    return op >= BinaryOp::Lt && op <= BinaryOp::Ne;
+}
+
+bool
+isLogicalOp(BinaryOp op)
+{
+    return op == BinaryOp::LAnd || op == BinaryOp::LOr;
+}
+
+int
+binaryOpPrecedence(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Mul: case BinaryOp::Div: case BinaryOp::Rem:
+        return 10;
+      case BinaryOp::Add: case BinaryOp::Sub:
+        return 9;
+      case BinaryOp::Shl: case BinaryOp::Shr:
+        return 8;
+      case BinaryOp::Lt: case BinaryOp::Le:
+      case BinaryOp::Gt: case BinaryOp::Ge:
+        return 7;
+      case BinaryOp::Eq: case BinaryOp::Ne:
+        return 6;
+      case BinaryOp::BitAnd:
+        return 5;
+      case BinaryOp::BitXor:
+        return 4;
+      case BinaryOp::BitOr:
+        return 3;
+      case BinaryOp::LAnd:
+        return 2;
+      case BinaryOp::LOr:
+        return 1;
+    }
+    return 0;
+}
+
+const char *
+assignOpSpelling(AssignOp op)
+{
+    switch (op) {
+      case AssignOp::Assign: return "=";
+      case AssignOp::AddAssign: return "+=";
+      case AssignOp::SubAssign: return "-=";
+      case AssignOp::MulAssign: return "*=";
+      case AssignOp::AndAssign: return "&=";
+      case AssignOp::OrAssign: return "|=";
+      case AssignOp::XorAssign: return "^=";
+    }
+    return "?";
+}
+
+BinaryOp
+assignOpBinary(AssignOp op)
+{
+    switch (op) {
+      case AssignOp::AddAssign: return BinaryOp::Add;
+      case AssignOp::SubAssign: return BinaryOp::Sub;
+      case AssignOp::MulAssign: return BinaryOp::Mul;
+      case AssignOp::AndAssign: return BinaryOp::BitAnd;
+      case AssignOp::OrAssign: return BinaryOp::BitOr;
+      case AssignOp::XorAssign: return BinaryOp::BitXor;
+      default:
+        UBF_PANIC("assignOpBinary on plain assignment");
+    }
+}
+
+void
+StructDecl::addField(FieldDecl *f)
+{
+    uint64_t falign = f->type()->align();
+    uint64_t off = (size_ + falign - 1) / falign * falign;
+    f->setOffset(off);
+    size_ = off + f->type()->size();
+    align_ = std::max(align_, falign);
+    // Pad the struct size up to its alignment, as C does.
+    size_ = (size_ + align_ - 1) / align_ * align_;
+    fields_.push_back(f);
+}
+
+const FieldDecl *
+StructDecl::findField(const std::string &name) const
+{
+    for (const FieldDecl *f : fields_)
+        if (f->name() == name)
+            return f;
+    return nullptr;
+}
+
+Program::Program() = default;
+
+FunctionDecl *
+Program::findFunction(const std::string &name) const
+{
+    for (FunctionDecl *f : functions_)
+        if (f->name() == name)
+            return f;
+    for (FunctionDecl *f : builtins_)
+        if (f->name() == name)
+            return f;
+    return nullptr;
+}
+
+VarDecl *
+Program::findGlobal(const std::string &name) const
+{
+    for (VarDecl *g : globals_)
+        if (g->name() == name)
+            return g;
+    return nullptr;
+}
+
+StructDecl *
+Program::findStruct(const std::string &name) const
+{
+    for (StructDecl *s : structs_)
+        if (s->name() == name)
+            return s;
+    return nullptr;
+}
+
+FunctionDecl *
+Program::builtin(Builtin b)
+{
+    for (FunctionDecl *f : builtins_)
+        if (f->builtin() == b)
+            return f;
+
+    TypeTable &tt = ctx_.types();
+    const Type *s64 = tt.s64();
+    const Type *byte_ptr = tt.bytePtr();
+    const Type *void_ty = tt.voidTy();
+
+    auto make_fn = [&](const char *name, const Type *ret,
+                       std::initializer_list<const Type *> params) {
+        FunctionDecl *f = ctx_.make<FunctionDecl>(name, ret);
+        int i = 0;
+        for (const Type *pt : params) {
+            f->addParam(ctx_.make<VarDecl>("p" + std::to_string(i++), pt,
+                                           Storage::Param, nullptr));
+        }
+        f->setBuiltin(b);
+        builtins_.push_back(f);
+        return f;
+    };
+
+    switch (b) {
+      case Builtin::Malloc:
+        return make_fn("__malloc", byte_ptr, {s64});
+      case Builtin::Free:
+        return make_fn("__free", void_ty, {byte_ptr});
+      case Builtin::Checksum:
+        return make_fn("__checksum", void_ty, {s64});
+      case Builtin::LogVal:
+        return make_fn("__log_val", void_ty, {s64, s64});
+      case Builtin::LogPtr:
+        return make_fn("__log_ptr", void_ty, {s64, byte_ptr});
+      case Builtin::LogBuf:
+        return make_fn("__log_buf", void_ty, {s64, byte_ptr, s64});
+      case Builtin::LogScopeEnter:
+        return make_fn("__log_scope_enter", void_ty, {s64});
+      case Builtin::LogScopeExit:
+        return make_fn("__log_scope_exit", void_ty, {s64});
+      case Builtin::None:
+        break;
+    }
+    UBF_PANIC("unknown builtin");
+}
+
+bool
+isLValue(const Expr *e)
+{
+    switch (e->kind()) {
+      case NodeKind::VarRef:
+      case NodeKind::Index:
+        return true;
+      case NodeKind::Unary:
+        return e->as<Unary>()->op() == UnaryOp::Deref;
+      case NodeKind::Member:
+        return e->as<Member>()->isArrow() ||
+               isLValue(e->as<Member>()->base());
+      default:
+        return false;
+    }
+}
+
+} // namespace ubfuzz::ast

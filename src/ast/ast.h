@@ -1,0 +1,797 @@
+/**
+ * @file
+ * MiniC abstract syntax tree.
+ *
+ * Every node carries a stable @c nodeId that survives deep cloning, which
+ * is how UBGen matches an expression in a seed program and then rewrites
+ * the corresponding node in a fresh clone (one clone per generated UB
+ * program, so every output has exactly one UB).
+ *
+ * Ownership: all nodes live in the Program's ASTContext arena; node
+ * pointers inside the tree are non-owning.
+ */
+
+#ifndef UBFUZZ_AST_AST_H
+#define UBFUZZ_AST_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/type.h"
+#include "support/diagnostics.h"
+#include "support/source_loc.h"
+
+namespace ubfuzz::ast {
+
+class ASTContext;
+class Block;
+class Expr;
+class FunctionDecl;
+class VarDecl;
+
+/** Discriminator for all AST node classes. */
+enum class NodeKind : uint8_t {
+    // Expressions
+    IntLit, VarRef, Unary, Binary, Select, Index, Member, Cast, Call,
+    InitList,
+    // Statements
+    DeclStmt, AssignStmt, ExprStmt, IfStmt, ForStmt, WhileStmt, Block,
+    ReturnStmt, BreakStmt, ContinueStmt,
+    // Declarations
+    VarDecl, FieldDecl, StructDecl, FunctionDecl,
+};
+
+/** Base of every AST node. */
+class Node
+{
+  public:
+    virtual ~Node() = default;
+
+    NodeKind kind() const { return kind_; }
+    /** Stable id, preserved by cloning. */
+    uint32_t nodeId() const { return nodeId_; }
+
+    /**
+     * Checked downcast. @return nullptr when the dynamic kind differs.
+     */
+    template <typename T>
+    T *
+    dynCast()
+    {
+        return T::classof(kind_) ? static_cast<T *>(this) : nullptr;
+    }
+
+    template <typename T>
+    const T *
+    dynCast() const
+    {
+        return T::classof(kind_) ? static_cast<const T *>(this) : nullptr;
+    }
+
+    /** Unchecked downcast with a kind assertion. */
+    template <typename T>
+    T *
+    as()
+    {
+        UBF_ASSERT(T::classof(kind_), "bad AST cast");
+        return static_cast<T *>(this);
+    }
+
+    template <typename T>
+    const T *
+    as() const
+    {
+        UBF_ASSERT(T::classof(kind_), "bad AST cast");
+        return static_cast<const T *>(this);
+    }
+
+  protected:
+    Node(NodeKind kind, uint32_t id) : kind_(kind), nodeId_(id) {}
+
+  private:
+    friend class ASTContext;
+    NodeKind kind_;
+    uint32_t nodeId_;
+};
+
+//===------------------------------------------------------------------===//
+// Expressions
+//===------------------------------------------------------------------===//
+
+/** Base of all expressions; the static type is assigned at build time. */
+class Expr : public Node
+{
+  public:
+    static bool
+    classof(NodeKind k)
+    {
+        return k >= NodeKind::IntLit && k <= NodeKind::InitList;
+    }
+
+    const Type *type() const { return type_; }
+    void setType(const Type *t) { type_ = t; }
+
+  protected:
+    Expr(NodeKind kind, uint32_t id, const Type *type)
+        : Node(kind, id), type_(type)
+    {}
+
+  private:
+    const Type *type_;
+};
+
+/** Integer literal; the value is stored as the raw 64-bit pattern. */
+class IntLit : public Expr
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::IntLit; }
+
+    IntLit(uint32_t id, uint64_t value, const Type *type)
+        : Expr(NodeKind::IntLit, id, type), value_(value)
+    {}
+
+    uint64_t value() const { return value_; }
+    int64_t signedValue() const { return static_cast<int64_t>(value_); }
+    /** Mutation support (MUSIC's CRCR operator). */
+    void setValue(uint64_t v) { value_ = v; }
+
+  private:
+    uint64_t value_;
+};
+
+/** Reference to a variable (global, local, or parameter). */
+class VarRef : public Expr
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::VarRef; }
+
+    VarRef(uint32_t id, VarDecl *decl, const Type *type)
+        : Expr(NodeKind::VarRef, id, type), decl_(decl)
+    {}
+
+    VarDecl *decl() const { return decl_; }
+    void setDecl(VarDecl *d) { decl_ = d; }
+
+  private:
+    VarDecl *decl_;
+};
+
+enum class UnaryOp : uint8_t { Neg, BitNot, LogNot, Deref, AddrOf };
+
+const char *unaryOpSpelling(UnaryOp op);
+
+class Unary : public Expr
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::Unary; }
+
+    Unary(uint32_t id, UnaryOp op, Expr *sub, const Type *type)
+        : Expr(NodeKind::Unary, id, type), op_(op), sub_(sub)
+    {}
+
+    UnaryOp op() const { return op_; }
+    Expr *sub() const { return sub_; }
+    void setSub(Expr *e) { sub_ = e; }
+
+  private:
+    UnaryOp op_;
+    Expr *sub_;
+};
+
+enum class BinaryOp : uint8_t {
+    Add, Sub, Mul, Div, Rem,
+    Shl, Shr,
+    BitAnd, BitOr, BitXor,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    LAnd, LOr,
+};
+
+const char *binaryOpSpelling(BinaryOp op);
+bool isArithOp(BinaryOp op);      ///< Add/Sub/Mul
+bool isDivRemOp(BinaryOp op);     ///< Div/Rem
+bool isShiftOp(BinaryOp op);      ///< Shl/Shr
+bool isComparisonOp(BinaryOp op); ///< Lt..Ne
+bool isLogicalOp(BinaryOp op);    ///< LAnd/LOr
+/** C-style precedence level for the printer (higher binds tighter). */
+int binaryOpPrecedence(BinaryOp op);
+
+class Binary : public Expr
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::Binary; }
+
+    Binary(uint32_t id, BinaryOp op, Expr *lhs, Expr *rhs, const Type *type)
+        : Expr(NodeKind::Binary, id, type), op_(op), lhs_(lhs), rhs_(rhs)
+    {}
+
+    BinaryOp op() const { return op_; }
+    void setOp(BinaryOp op) { op_ = op; }
+    Expr *lhs() const { return lhs_; }
+    Expr *rhs() const { return rhs_; }
+    void setLhs(Expr *e) { lhs_ = e; }
+    void setRhs(Expr *e) { rhs_ = e; }
+
+  private:
+    BinaryOp op_;
+    Expr *lhs_;
+    Expr *rhs_;
+};
+
+/** Ternary conditional `c ? t : f` — used by Csmith-style safe wrappers. */
+class Select : public Expr
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::Select; }
+
+    Select(uint32_t id, Expr *cond, Expr *t, Expr *f, const Type *type)
+        : Expr(NodeKind::Select, id, type), cond_(cond), true_(t), false_(f)
+    {}
+
+    Expr *cond() const { return cond_; }
+    Expr *trueExpr() const { return true_; }
+    Expr *falseExpr() const { return false_; }
+    void setCond(Expr *e) { cond_ = e; }
+    void setTrueExpr(Expr *e) { true_ = e; }
+    void setFalseExpr(Expr *e) { false_ = e; }
+
+  private:
+    Expr *cond_;
+    Expr *true_;
+    Expr *false_;
+};
+
+/** Array/pointer subscript `base[index]`. */
+class Index : public Expr
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::Index; }
+
+    Index(uint32_t id, Expr *base, Expr *index, const Type *type)
+        : Expr(NodeKind::Index, id, type), base_(base), index_(index)
+    {}
+
+    Expr *base() const { return base_; }
+    Expr *index() const { return index_; }
+    void setBase(Expr *e) { base_ = e; }
+    void setIndex(Expr *e) { index_ = e; }
+
+  private:
+    Expr *base_;
+    Expr *index_;
+};
+
+class FieldDecl;
+
+/** Struct member access `base.f` or `base->f`. */
+class Member : public Expr
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::Member; }
+
+    Member(uint32_t id, Expr *base, const FieldDecl *field, bool arrow,
+           const Type *type)
+        : Expr(NodeKind::Member, id, type), base_(base), field_(field),
+          arrow_(arrow)
+    {}
+
+    Expr *base() const { return base_; }
+    const FieldDecl *field() const { return field_; }
+    bool isArrow() const { return arrow_; }
+    void setBase(Expr *e) { base_ = e; }
+    void setField(const FieldDecl *f) { field_ = f; }
+
+  private:
+    Expr *base_;
+    const FieldDecl *field_;
+    bool arrow_;
+};
+
+/** Explicit cast `(T)e`. */
+class Cast : public Expr
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::Cast; }
+
+    Cast(uint32_t id, Expr *sub, const Type *to)
+        : Expr(NodeKind::Cast, id, to), sub_(sub)
+    {}
+
+    Expr *sub() const { return sub_; }
+    void setSub(Expr *e) { sub_ = e; }
+
+  private:
+    Expr *sub_;
+};
+
+/** Direct call to a named function or builtin. */
+class Call : public Expr
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::Call; }
+
+    Call(uint32_t id, FunctionDecl *callee, std::vector<Expr *> args,
+         const Type *type)
+        : Expr(NodeKind::Call, id, type), callee_(callee),
+          args_(std::move(args))
+    {}
+
+    FunctionDecl *callee() const { return callee_; }
+    void setCallee(FunctionDecl *f) { callee_ = f; }
+    const std::vector<Expr *> &args() const { return args_; }
+    std::vector<Expr *> &args() { return args_; }
+
+  private:
+    FunctionDecl *callee_;
+    std::vector<Expr *> args_;
+};
+
+/** Brace initializer list; only valid as an array VarDecl initializer. */
+class InitList : public Expr
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::InitList; }
+
+    InitList(uint32_t id, std::vector<Expr *> elems, const Type *type)
+        : Expr(NodeKind::InitList, id, type), elems_(std::move(elems))
+    {}
+
+    const std::vector<Expr *> &elems() const { return elems_; }
+    std::vector<Expr *> &elems() { return elems_; }
+
+  private:
+    std::vector<Expr *> elems_;
+};
+
+//===------------------------------------------------------------------===//
+// Statements
+//===------------------------------------------------------------------===//
+
+class Stmt : public Node
+{
+  public:
+    static bool
+    classof(NodeKind k)
+    {
+        return k >= NodeKind::DeclStmt && k <= NodeKind::ContinueStmt;
+    }
+
+  protected:
+    using Node::Node;
+};
+
+/** Local variable declaration statement. */
+class DeclStmt : public Stmt
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::DeclStmt; }
+
+    DeclStmt(uint32_t id, VarDecl *var) : Stmt(NodeKind::DeclStmt, id),
+                                          var_(var)
+    {}
+
+    VarDecl *var() const { return var_; }
+    void setVar(VarDecl *v) { var_ = v; }
+
+  private:
+    VarDecl *var_;
+};
+
+enum class AssignOp : uint8_t {
+    Assign, AddAssign, SubAssign, MulAssign, AndAssign, OrAssign, XorAssign,
+};
+
+const char *assignOpSpelling(AssignOp op);
+/** The arithmetic op behind a compound assignment (Assign -> none). */
+BinaryOp assignOpBinary(AssignOp op);
+
+/** Assignment `lhs op= rhs`; the lhs must be an lvalue expression. */
+class AssignStmt : public Stmt
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::AssignStmt; }
+
+    AssignStmt(uint32_t id, AssignOp op, Expr *lhs, Expr *rhs)
+        : Stmt(NodeKind::AssignStmt, id), op_(op), lhs_(lhs), rhs_(rhs)
+    {}
+
+    AssignOp op() const { return op_; }
+    Expr *lhs() const { return lhs_; }
+    Expr *rhs() const { return rhs_; }
+    void setLhs(Expr *e) { lhs_ = e; }
+    void setRhs(Expr *e) { rhs_ = e; }
+
+  private:
+    AssignOp op_;
+    Expr *lhs_;
+    Expr *rhs_;
+};
+
+/** Expression evaluated for effect (calls, profiling builtins). */
+class ExprStmt : public Stmt
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::ExprStmt; }
+
+    ExprStmt(uint32_t id, Expr *expr) : Stmt(NodeKind::ExprStmt, id),
+                                        expr_(expr)
+    {}
+
+    Expr *expr() const { return expr_; }
+    void setExpr(Expr *e) { expr_ = e; }
+
+  private:
+    Expr *expr_;
+};
+
+class IfStmt : public Stmt
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::IfStmt; }
+
+    IfStmt(uint32_t id, Expr *cond, Block *thenBlock, Block *elseBlock)
+        : Stmt(NodeKind::IfStmt, id), cond_(cond), then_(thenBlock),
+          else_(elseBlock)
+    {}
+
+    Expr *cond() const { return cond_; }
+    Block *thenBlock() const { return then_; }
+    Block *elseBlock() const { return else_; }
+    void setCond(Expr *e) { cond_ = e; }
+
+  private:
+    Expr *cond_;
+    Block *then_;
+    Block *else_;
+};
+
+class ForStmt : public Stmt
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::ForStmt; }
+
+    ForStmt(uint32_t id, Stmt *init, Expr *cond, Stmt *step, Block *body)
+        : Stmt(NodeKind::ForStmt, id), init_(init), cond_(cond),
+          step_(step), body_(body)
+    {}
+
+    Stmt *init() const { return init_; }
+    Expr *cond() const { return cond_; }
+    Stmt *step() const { return step_; }
+    Block *body() const { return body_; }
+    void setCond(Expr *e) { cond_ = e; }
+
+  private:
+    Stmt *init_;
+    Expr *cond_;
+    Stmt *step_;
+    Block *body_;
+};
+
+class WhileStmt : public Stmt
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::WhileStmt; }
+
+    WhileStmt(uint32_t id, Expr *cond, Block *body)
+        : Stmt(NodeKind::WhileStmt, id), cond_(cond), body_(body)
+    {}
+
+    Expr *cond() const { return cond_; }
+    Block *body() const { return body_; }
+    void setCond(Expr *e) { cond_ = e; }
+
+  private:
+    Expr *cond_;
+    Block *body_;
+};
+
+/** Braced statement list; opens a lexical scope. */
+class Block : public Stmt
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::Block; }
+
+    explicit Block(uint32_t id) : Stmt(NodeKind::Block, id) {}
+
+    const std::vector<Stmt *> &stmts() const { return stmts_; }
+    std::vector<Stmt *> &stmts() { return stmts_; }
+
+    void append(Stmt *s) { stmts_.push_back(s); }
+    void
+    insert(size_t pos, Stmt *s)
+    {
+        UBF_ASSERT(pos <= stmts_.size(), "block insert out of range");
+        stmts_.insert(stmts_.begin() + pos, s);
+    }
+
+  private:
+    std::vector<Stmt *> stmts_;
+};
+
+class ReturnStmt : public Stmt
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::ReturnStmt; }
+
+    ReturnStmt(uint32_t id, Expr *value) : Stmt(NodeKind::ReturnStmt, id),
+                                           value_(value)
+    {}
+
+    Expr *value() const { return value_; }
+    void setValue(Expr *e) { value_ = e; }
+
+  private:
+    Expr *value_;
+};
+
+class BreakStmt : public Stmt
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::BreakStmt; }
+    explicit BreakStmt(uint32_t id) : Stmt(NodeKind::BreakStmt, id) {}
+};
+
+class ContinueStmt : public Stmt
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::ContinueStmt; }
+    explicit ContinueStmt(uint32_t id) : Stmt(NodeKind::ContinueStmt, id) {}
+};
+
+//===------------------------------------------------------------------===//
+// Declarations
+//===------------------------------------------------------------------===//
+
+enum class Storage : uint8_t { Global, Local, Param };
+
+class VarDecl : public Node
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::VarDecl; }
+
+    VarDecl(uint32_t id, std::string name, const Type *type,
+            Storage storage, Expr *init)
+        : Node(NodeKind::VarDecl, id), name_(std::move(name)), type_(type),
+          storage_(storage), init_(init)
+    {}
+
+    const std::string &name() const { return name_; }
+    const Type *type() const { return type_; }
+    Storage storage() const { return storage_; }
+    Expr *init() const { return init_; }
+    void setInit(Expr *e) { init_ = e; }
+
+  private:
+    std::string name_;
+    const Type *type_;
+    Storage storage_;
+    Expr *init_;
+};
+
+class FieldDecl : public Node
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::FieldDecl; }
+
+    FieldDecl(uint32_t id, std::string name, const Type *type)
+        : Node(NodeKind::FieldDecl, id), name_(std::move(name)), type_(type)
+    {}
+
+    const std::string &name() const { return name_; }
+    const Type *type() const { return type_; }
+    uint64_t offset() const { return offset_; }
+    void setOffset(uint64_t off) { offset_ = off; }
+
+  private:
+    std::string name_;
+    const Type *type_;
+    uint64_t offset_ = 0;
+};
+
+class StructDecl : public Node
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::StructDecl; }
+
+    StructDecl(uint32_t id, std::string name)
+        : Node(NodeKind::StructDecl, id), name_(std::move(name))
+    {}
+
+    const std::string &name() const { return name_; }
+    const std::vector<FieldDecl *> &fields() const { return fields_; }
+
+    /** Append a field; offsets/size are (re)computed with C layout. */
+    void addField(FieldDecl *f);
+
+    const FieldDecl *findField(const std::string &name) const;
+
+    uint64_t size() const { return size_; }
+    uint64_t align() const { return align_; }
+
+  private:
+    std::string name_;
+    std::vector<FieldDecl *> fields_;
+    uint64_t size_ = 0;
+    uint64_t align_ = 1;
+};
+
+/** Builtin functions the VM implements natively. */
+enum class Builtin : uint8_t {
+    None,          ///< ordinary user function
+    Malloc,        ///< char *__malloc(long size)
+    Free,          ///< void __free(char *p)
+    Checksum,      ///< void __checksum(long v): folds v into the output
+    LogVal,        ///< void __log_val(long site, long v)
+    LogPtr,        ///< void __log_ptr(long site, char *p)
+    LogBuf,        ///< void __log_buf(long site, char *p, long size)
+    LogScopeEnter, ///< void __log_scope_enter(long blockId)
+    LogScopeExit,  ///< void __log_scope_exit(long blockId)
+};
+
+class FunctionDecl : public Node
+{
+  public:
+    static bool classof(NodeKind k) { return k == NodeKind::FunctionDecl; }
+
+    FunctionDecl(uint32_t id, std::string name, const Type *retType)
+        : Node(NodeKind::FunctionDecl, id), name_(std::move(name)),
+          retType_(retType)
+    {}
+
+    const std::string &name() const { return name_; }
+    const Type *retType() const { return retType_; }
+
+    const std::vector<VarDecl *> &params() const { return params_; }
+    void addParam(VarDecl *p) { params_.push_back(p); }
+
+    Block *body() const { return body_; }
+    void setBody(Block *b) { body_ = b; }
+
+    Builtin builtin() const { return builtin_; }
+    void setBuiltin(Builtin b) { builtin_ = b; }
+    bool isBuiltin() const { return builtin_ != Builtin::None; }
+
+  private:
+    std::string name_;
+    const Type *retType_;
+    std::vector<VarDecl *> params_;
+    Block *body_ = nullptr;
+    Builtin builtin_ = Builtin::None;
+};
+
+//===------------------------------------------------------------------===//
+// Context and Program
+//===------------------------------------------------------------------===//
+
+/** Arena owning every AST node of one Program, plus its TypeTable. */
+class ASTContext
+{
+  public:
+    TypeTable &types() { return types_; }
+
+    /** Allocate a node with a fresh nodeId. */
+    template <typename T, typename... Args>
+    T *
+    make(Args &&...args)
+    {
+        auto node = std::make_unique<T>(nextId_++,
+                                        std::forward<Args>(args)...);
+        T *raw = node.get();
+        nodes_.push_back(std::move(node));
+        return raw;
+    }
+
+    /** Allocate a node with a specific nodeId (cloning support). */
+    template <typename T, typename... Args>
+    T *
+    makeWithId(uint32_t id, Args &&...args)
+    {
+        if (id >= nextId_)
+            nextId_ = id + 1;
+        auto node = std::make_unique<T>(id, std::forward<Args>(args)...);
+        T *raw = node.get();
+        nodes_.push_back(std::move(node));
+        return raw;
+    }
+
+    uint32_t peekNextId() const { return nextId_; }
+
+  private:
+    TypeTable types_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    uint32_t nextId_ = 1;
+};
+
+/** A whole MiniC translation unit. */
+class Program
+{
+  public:
+    Program();
+
+    ASTContext &ctx() { return ctx_; }
+    TypeTable &types() { return ctx_.types(); }
+
+    std::vector<StructDecl *> &structs() { return structs_; }
+    const std::vector<StructDecl *> &structs() const { return structs_; }
+    std::vector<VarDecl *> &globals() { return globals_; }
+    const std::vector<VarDecl *> &globals() const { return globals_; }
+    std::vector<FunctionDecl *> &functions() { return functions_; }
+    const std::vector<FunctionDecl *> &functions() const
+    {
+        return functions_;
+    }
+
+    FunctionDecl *main() const { return main_; }
+    void setMain(FunctionDecl *f) { main_ = f; }
+
+    FunctionDecl *findFunction(const std::string &name) const;
+    VarDecl *findGlobal(const std::string &name) const;
+    StructDecl *findStruct(const std::string &name) const;
+
+    /** The lazily-created builtin declaration for @p b. */
+    FunctionDecl *builtin(Builtin b);
+
+  private:
+    ASTContext ctx_;
+    std::vector<StructDecl *> structs_;
+    std::vector<VarDecl *> globals_;
+    std::vector<FunctionDecl *> functions_;
+    std::vector<FunctionDecl *> builtins_;
+    FunctionDecl *main_ = nullptr;
+};
+
+/** True if @p e can appear on the left of an assignment. */
+bool isLValue(const Expr *e);
+
+/**
+ * Invoke @p fn on each direct child expression of @p e.
+ * @p fn receives (Expr *child).
+ */
+template <typename F>
+void
+forEachChildExpr(Expr *e, F &&fn)
+{
+    switch (e->kind()) {
+      case NodeKind::IntLit:
+      case NodeKind::VarRef:
+        break;
+      case NodeKind::Unary:
+        fn(e->as<Unary>()->sub());
+        break;
+      case NodeKind::Binary:
+        fn(e->as<Binary>()->lhs());
+        fn(e->as<Binary>()->rhs());
+        break;
+      case NodeKind::Select:
+        fn(e->as<Select>()->cond());
+        fn(e->as<Select>()->trueExpr());
+        fn(e->as<Select>()->falseExpr());
+        break;
+      case NodeKind::Index:
+        fn(e->as<Index>()->base());
+        fn(e->as<Index>()->index());
+        break;
+      case NodeKind::Member:
+        fn(e->as<Member>()->base());
+        break;
+      case NodeKind::Cast:
+        fn(e->as<Cast>()->sub());
+        break;
+      case NodeKind::Call:
+        for (Expr *a : e->as<Call>()->args())
+            fn(a);
+        break;
+      case NodeKind::InitList:
+        for (Expr *el : e->as<InitList>()->elems())
+            fn(el);
+        break;
+      default:
+        UBF_PANIC("forEachChildExpr: not an expression");
+    }
+}
+
+} // namespace ubfuzz::ast
+
+#endif // UBFUZZ_AST_AST_H

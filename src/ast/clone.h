@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deep cloning of MiniC programs.
+ *
+ * UBGen generates one UB program per matched expression by cloning the
+ * seed and mutating the clone. Node ids are preserved across the clone so
+ * that anything recorded against the seed (matched expression ids,
+ * profiling site ids, insertion points) can be located in the clone.
+ */
+
+#ifndef UBFUZZ_AST_CLONE_H
+#define UBFUZZ_AST_CLONE_H
+
+#include <memory>
+#include <unordered_map>
+
+#include "ast/ast.h"
+
+namespace ubfuzz::ast {
+
+/** A cloned program plus an id -> node index for the clone. */
+struct ClonedProgram
+{
+    std::unique_ptr<Program> program;
+    std::unordered_map<uint32_t, Node *> byId;
+
+    /** Find a cloned node by the (preserved) node id; null if absent. */
+    Node *
+    find(uint32_t nodeId) const
+    {
+        auto it = byId.find(nodeId);
+        return it == byId.end() ? nullptr : it->second;
+    }
+
+    template <typename T>
+    T *
+    findAs(uint32_t nodeId) const
+    {
+        Node *n = find(nodeId);
+        UBF_ASSERT(n, "node id ", nodeId, " not present in clone");
+        return n->as<T>();
+    }
+};
+
+/** Deep-clone @p src, preserving node ids. */
+ClonedProgram cloneProgram(const Program &src);
+
+/**
+ * Structurally copy an expression *within the same program*: the copy
+ * gets fresh node ids but references the same declarations and types.
+ * Used when an expression must appear twice (e.g. a profiling call
+ * logging the value of a pointer sub-expression). @p e must be pure.
+ */
+Expr *cloneExprInto(Program &dst, const Expr *e);
+
+} // namespace ubfuzz::ast
+
+#endif // UBFUZZ_AST_CLONE_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * MiniC pretty printer and source layout.
+ *
+ * Printing is the authority on source locations: the printer records, for
+ * every statement and expression node, the (line, offset) where its first
+ * token lands. IR lowering attaches these locations to instructions as
+ * debug metadata, and the crash-site mapping oracle compares them — so
+ * "the crash site at (line 10, offset 8)" means exactly what it does in
+ * the paper's Figure 5.
+ */
+
+#ifndef UBFUZZ_AST_PRINTER_H
+#define UBFUZZ_AST_PRINTER_H
+
+#include <string>
+#include <unordered_map>
+
+#include "ast/ast.h"
+#include "support/source_loc.h"
+
+namespace ubfuzz::ast {
+
+/** nodeId -> (line, offset) for a particular printing of a program. */
+class SourceMap
+{
+  public:
+    void set(uint32_t nodeId, SourceLoc loc) { locs_[nodeId] = loc; }
+
+    /** Location of a node; invalid SourceLoc if not recorded. */
+    SourceLoc
+    loc(uint32_t nodeId) const
+    {
+        auto it = locs_.find(nodeId);
+        return it == locs_.end() ? SourceLoc{} : it->second;
+    }
+
+    size_t size() const { return locs_.size(); }
+
+  private:
+    std::unordered_map<uint32_t, SourceLoc> locs_;
+};
+
+/** The text of a program plus the node-location map for that text. */
+struct PrintedProgram
+{
+    std::string text;
+    SourceMap map;
+};
+
+/** Pretty-print @p program and record node locations. */
+PrintedProgram printProgram(const Program &program);
+
+/** Convenience: just the text. */
+std::string programText(const Program &program);
+
+/** Print a single expression (no location recording); for diagnostics. */
+std::string exprText(const Expr *e);
+
+} // namespace ubfuzz::ast
+
+#endif // UBFUZZ_AST_PRINTER_H

@@ -1,0 +1,160 @@
+#include "ast/type.h"
+
+#include "ast/ast.h"
+#include "support/diagnostics.h"
+
+namespace ubfuzz::ast {
+
+int
+scalarSize(ScalarKind k)
+{
+    switch (k) {
+      case ScalarKind::Void: return 0;
+      case ScalarKind::S8: case ScalarKind::U8: return 1;
+      case ScalarKind::S16: case ScalarKind::U16: return 2;
+      case ScalarKind::S32: case ScalarKind::U32: return 4;
+      case ScalarKind::S64: case ScalarKind::U64: return 8;
+    }
+    return 0;
+}
+
+bool
+scalarSigned(ScalarKind k)
+{
+    switch (k) {
+      case ScalarKind::S8: case ScalarKind::S16:
+      case ScalarKind::S32: case ScalarKind::S64:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+scalarBits(ScalarKind k)
+{
+    return scalarSize(k) * 8;
+}
+
+const char *
+scalarName(ScalarKind k)
+{
+    switch (k) {
+      case ScalarKind::Void: return "void";
+      case ScalarKind::S8: return "char";
+      case ScalarKind::U8: return "unsigned char";
+      case ScalarKind::S16: return "short";
+      case ScalarKind::U16: return "unsigned short";
+      case ScalarKind::S32: return "int";
+      case ScalarKind::U32: return "unsigned int";
+      case ScalarKind::S64: return "long";
+      case ScalarKind::U64: return "unsigned long";
+    }
+    return "?";
+}
+
+uint64_t
+Type::size() const
+{
+    switch (kind_) {
+      case Kind::Scalar: return scalarSize(scalar_);
+      case Kind::Pointer: return 8;
+      case Kind::Array: return element_->size() * count_;
+      case Kind::Struct: return struct_->size();
+    }
+    return 0;
+}
+
+uint64_t
+Type::align() const
+{
+    switch (kind_) {
+      case Kind::Scalar: return scalarSize(scalar_) ? scalarSize(scalar_) : 1;
+      case Kind::Pointer: return 8;
+      case Kind::Array: return element_->align();
+      case Kind::Struct: return struct_->align();
+    }
+    return 1;
+}
+
+std::string
+Type::cName(const std::string &declarator) const
+{
+    switch (kind_) {
+      case Kind::Scalar:
+        return declarator.empty()
+                   ? std::string(scalarName(scalar_))
+                   : std::string(scalarName(scalar_)) + " " + declarator;
+      case Kind::Pointer:
+        return element_->cName("*" + declarator);
+      case Kind::Array:
+        return element_->cName(declarator + "[" +
+                               std::to_string(count_) + "]");
+      case Kind::Struct: {
+        std::string base = "struct " + struct_->name();
+        return declarator.empty() ? base : base + " " + declarator;
+      }
+    }
+    return "?";
+}
+
+TypeTable::TypeTable()
+{
+    static const ScalarKind kinds[] = {
+        ScalarKind::Void, ScalarKind::S8, ScalarKind::U8, ScalarKind::S16,
+        ScalarKind::U16, ScalarKind::S32, ScalarKind::U32, ScalarKind::S64,
+        ScalarKind::U64,
+    };
+    for (ScalarKind k : kinds) {
+        auto t = std::unique_ptr<Type>(new Type());
+        t->kind_ = Type::Kind::Scalar;
+        t->scalar_ = k;
+        scalars_[static_cast<int>(k)] = std::move(t);
+    }
+}
+
+const Type *
+TypeTable::scalar(ScalarKind k) const
+{
+    return scalars_[static_cast<int>(k)].get();
+}
+
+const Type *
+TypeTable::pointer(const Type *pointee)
+{
+    auto &slot = pointers_[pointee];
+    if (!slot) {
+        slot = std::unique_ptr<Type>(new Type());
+        slot->kind_ = Type::Kind::Pointer;
+        slot->element_ = pointee;
+    }
+    return slot.get();
+}
+
+const Type *
+TypeTable::array(const Type *elem, uint32_t count)
+{
+    UBF_ASSERT(count > 0, "zero-length arrays are not in MiniC");
+    auto &slot = arrays_[{elem, count}];
+    if (!slot) {
+        slot = std::unique_ptr<Type>(new Type());
+        slot->kind_ = Type::Kind::Array;
+        slot->element_ = elem;
+        slot->count_ = count;
+    }
+    return slot.get();
+}
+
+const Type *
+TypeTable::structTy(const StructDecl *decl)
+{
+    auto &slot = structs_[decl];
+    if (!slot) {
+        slot = std::unique_ptr<Type>(new Type());
+        slot->kind_ = Type::Kind::Struct;
+        slot->struct_ = decl;
+    }
+    return slot.get();
+}
+
+} // namespace ubfuzz::ast

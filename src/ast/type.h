@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The MiniC type system.
+ *
+ * MiniC is the C subset every component of this repository speaks:
+ * signed/unsigned integers of 8/16/32/64 bits, pointers, fixed-size
+ * arrays, and plain structs of scalar fields. Types are interned in a
+ * per-program TypeTable, so `const Type *` equality is type equality.
+ */
+
+#ifndef UBFUZZ_AST_TYPE_H
+#define UBFUZZ_AST_TYPE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ubfuzz::ast {
+
+class StructDecl;
+
+/** Built-in scalar kinds. Comparisons and logic produce S32, as in C. */
+enum class ScalarKind : uint8_t {
+    Void,
+    S8, U8,
+    S16, U16,
+    S32, U32,
+    S64, U64,
+};
+
+/** Size in bytes of a scalar kind (0 for Void). */
+int scalarSize(ScalarKind k);
+/** Whether the scalar kind is a signed integer. */
+bool scalarSigned(ScalarKind k);
+/** Bit width (8..64; 0 for Void). */
+int scalarBits(ScalarKind k);
+/** C spelling, e.g. "unsigned short". */
+const char *scalarName(ScalarKind k);
+
+/** An interned MiniC type. */
+class Type
+{
+  public:
+    enum class Kind : uint8_t { Scalar, Pointer, Array, Struct };
+
+    Kind kind() const { return kind_; }
+    bool isScalar() const { return kind_ == Kind::Scalar; }
+    bool isPointer() const { return kind_ == Kind::Pointer; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isStruct() const { return kind_ == Kind::Struct; }
+    bool isVoid() const
+    {
+        return kind_ == Kind::Scalar && scalar_ == ScalarKind::Void;
+    }
+    /** Non-void integer scalar. */
+    bool isInteger() const { return isScalar() && !isVoid(); }
+
+    ScalarKind scalar() const { return scalar_; }
+    /** Pointee for pointers, element type for arrays. */
+    const Type *element() const { return element_; }
+    /** Array element count. */
+    uint32_t arraySize() const { return count_; }
+    const StructDecl *structDecl() const { return struct_; }
+
+    /** Byte size (arrays: elem size * count; pointers: 8). */
+    uint64_t size() const;
+    /** Natural alignment in bytes. */
+    uint64_t align() const;
+
+    /** C spelling of the type with an optional declarator name. */
+    std::string cName(const std::string &declarator = "") const;
+
+  private:
+    friend class TypeTable;
+    Type() = default;
+
+    Kind kind_ = Kind::Scalar;
+    ScalarKind scalar_ = ScalarKind::Void;
+    const Type *element_ = nullptr;
+    uint32_t count_ = 0;
+    const StructDecl *struct_ = nullptr;
+};
+
+/** Per-program intern table for types. */
+class TypeTable
+{
+  public:
+    TypeTable();
+
+    const Type *scalar(ScalarKind k) const;
+    const Type *voidTy() const { return scalar(ScalarKind::Void); }
+    const Type *s32() const { return scalar(ScalarKind::S32); }
+    const Type *s64() const { return scalar(ScalarKind::S64); }
+
+    const Type *pointer(const Type *pointee);
+    const Type *array(const Type *elem, uint32_t count);
+    const Type *structTy(const StructDecl *decl);
+
+    /** `char *`, the type of __malloc's result. */
+    const Type *bytePtr() { return pointer(scalar(ScalarKind::S8)); }
+
+  private:
+    std::unique_ptr<Type> scalars_[9];
+    std::map<const Type *, std::unique_ptr<Type>> pointers_;
+    std::map<std::pair<const Type *, uint32_t>, std::unique_ptr<Type>>
+        arrays_;
+    std::map<const StructDecl *, std::unique_ptr<Type>> structs_;
+};
+
+} // namespace ubfuzz::ast
+
+#endif // UBFUZZ_AST_TYPE_H

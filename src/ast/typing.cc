@@ -1,0 +1,167 @@
+#include "ast/typing.h"
+
+namespace ubfuzz::ast {
+
+const Type *
+promote(TypeTable &tt, const Type *t)
+{
+    UBF_ASSERT(t->isInteger(), "promote on non-integer");
+    if (scalarBits(t->scalar()) < 32)
+        return tt.s32();
+    return t;
+}
+
+const Type *
+commonType(TypeTable &tt, const Type *a, const Type *b)
+{
+    a = promote(tt, a);
+    b = promote(tt, b);
+    if (a == b)
+        return a;
+    ScalarKind ka = a->scalar(), kb = b->scalar();
+    int wa = scalarBits(ka), wb = scalarBits(kb);
+    bool sa = scalarSigned(ka), sb = scalarSigned(kb);
+    if (sa == sb)
+        return wa >= wb ? a : b;
+    // Mixed signedness.
+    const Type *uns = sa ? b : a;
+    const Type *sgn = sa ? a : b;
+    int wu = sa ? wb : wa;
+    int ws = sa ? wa : wb;
+    if (wu >= ws)
+        return uns;
+    // The signed type is strictly wider: it represents all unsigned
+    // values of the narrower type.
+    return sgn;
+}
+
+const Type *
+binaryResultType(TypeTable &tt, BinaryOp op, const Type *lhs,
+                 const Type *rhs)
+{
+    if (isComparisonOp(op) || isLogicalOp(op))
+        return tt.s32();
+    if (lhs->isPointer() || rhs->isPointer() || lhs->isArray() ||
+        rhs->isArray()) {
+        // Arrays decay to element pointers in expressions.
+        auto decay = [&](const Type *t) {
+            return t->isArray() ? tt.pointer(t->element()) : t;
+        };
+        const Type *l = decay(lhs);
+        const Type *r = decay(rhs);
+        if (op == BinaryOp::Add) {
+            UBF_ASSERT(l->isPointer() != r->isPointer(),
+                       "pointer + pointer is ill-typed");
+            return l->isPointer() ? l : r;
+        }
+        if (op == BinaryOp::Sub) {
+            if (l->isPointer() && r->isPointer())
+                return tt.s64();
+            UBF_ASSERT(l->isPointer(), "int - pointer is ill-typed");
+            return l;
+        }
+        UBF_PANIC("pointer operand on non-additive operator ",
+                  binaryOpSpelling(op));
+    }
+    if (isShiftOp(op))
+        return promote(tt, lhs);
+    return commonType(tt, lhs, rhs);
+}
+
+const Type *
+unaryResultType(TypeTable &tt, UnaryOp op, const Type *sub)
+{
+    switch (op) {
+      case UnaryOp::Neg:
+      case UnaryOp::BitNot:
+        return promote(tt, sub);
+      case UnaryOp::LogNot:
+        return tt.s32();
+      case UnaryOp::Deref:
+        if (sub->isArray())
+            return sub->element();
+        UBF_ASSERT(sub->isPointer(), "deref of non-pointer");
+        return sub->element();
+      case UnaryOp::AddrOf:
+        return tt.pointer(sub);
+    }
+    UBF_PANIC("unknown unary op");
+}
+
+const Type *
+indexResultType(const Type *base)
+{
+    UBF_ASSERT(base->isArray() || base->isPointer(),
+               "index of non-array, non-pointer");
+    return base->element();
+}
+
+IntLit *
+ExprBuilder::lit(int64_t v, ScalarKind k)
+{
+    return ctx_.make<IntLit>(static_cast<uint64_t>(v), types().scalar(k));
+}
+
+IntLit *
+ExprBuilder::litOf(uint64_t raw, const Type *t)
+{
+    return ctx_.make<IntLit>(raw, t);
+}
+
+VarRef *
+ExprBuilder::ref(VarDecl *v)
+{
+    return ctx_.make<VarRef>(v, v->type());
+}
+
+Unary *
+ExprBuilder::unary(UnaryOp op, Expr *sub)
+{
+    return ctx_.make<Unary>(op, sub,
+                            unaryResultType(types(), op, sub->type()));
+}
+
+Binary *
+ExprBuilder::bin(BinaryOp op, Expr *lhs, Expr *rhs)
+{
+    return ctx_.make<Binary>(
+        op, lhs, rhs,
+        binaryResultType(types(), op, lhs->type(), rhs->type()));
+}
+
+Select *
+ExprBuilder::select(Expr *c, Expr *t, Expr *f)
+{
+    const Type *ty;
+    if (t->type()->isPointer() || f->type()->isPointer())
+        ty = t->type()->isPointer() ? t->type() : f->type();
+    else
+        ty = commonType(types(), t->type(), f->type());
+    return ctx_.make<Select>(c, t, f, ty);
+}
+
+Index *
+ExprBuilder::index(Expr *base, Expr *idx)
+{
+    return ctx_.make<Index>(base, idx, indexResultType(base->type()));
+}
+
+Member *
+ExprBuilder::member(Expr *base, const FieldDecl *field, bool arrow)
+{
+    return ctx_.make<Member>(base, field, arrow, field->type());
+}
+
+Cast *
+ExprBuilder::cast(const Type *to, Expr *sub)
+{
+    return ctx_.make<Cast>(sub, to);
+}
+
+Call *
+ExprBuilder::call(FunctionDecl *callee, std::vector<Expr *> args)
+{
+    return ctx_.make<Call>(callee, std::move(args), callee->retType());
+}
+
+} // namespace ubfuzz::ast

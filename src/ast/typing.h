@@ -1,0 +1,73 @@
+/**
+ * @file
+ * MiniC typing rules (a faithful subset of C's usual arithmetic
+ * conversions) and convenience builders for well-typed expressions.
+ *
+ * MiniC follows C: operands of arithmetic are promoted to at least 32
+ * bits, the common type is computed per C6.3.1.8, shifts take the
+ * promoted left operand's type, comparisons and logical operators yield
+ * int. Signed overflow, bad shifts, and division by zero are UB — that
+ * is the whole point of this repository.
+ */
+
+#ifndef UBFUZZ_AST_TYPING_H
+#define UBFUZZ_AST_TYPING_H
+
+#include "ast/ast.h"
+
+namespace ubfuzz::ast {
+
+/** Integer promotion: sub-int scalars widen to S32. */
+const Type *promote(TypeTable &tt, const Type *t);
+
+/** C usual-arithmetic-conversion common type of two integer types. */
+const Type *commonType(TypeTable &tt, const Type *a, const Type *b);
+
+/**
+ * Result type of `lhs op rhs`, handling pointer arithmetic
+ * (ptr+int -> ptr, ptr-ptr -> S64) and comparisons (-> S32).
+ */
+const Type *binaryResultType(TypeTable &tt, BinaryOp op, const Type *lhs,
+                             const Type *rhs);
+
+/** Result type of a unary operator applied to @p sub. */
+const Type *unaryResultType(TypeTable &tt, UnaryOp op, const Type *sub);
+
+/**
+ * Element type produced by `base[i]`; base must be an array or pointer.
+ */
+const Type *indexResultType(const Type *base);
+
+/**
+ * Well-typed expression factories. All of them compute the result type
+ * from the operands with the rules above.
+ */
+class ExprBuilder
+{
+  public:
+    explicit ExprBuilder(Program &p) : prog_(p), ctx_(p.ctx()) {}
+
+    IntLit *lit(int64_t v, ScalarKind k = ScalarKind::S32);
+    IntLit *litOf(uint64_t raw, const Type *t);
+    VarRef *ref(VarDecl *v);
+    Unary *unary(UnaryOp op, Expr *sub);
+    Unary *deref(Expr *sub) { return unary(UnaryOp::Deref, sub); }
+    Unary *addrOf(Expr *sub) { return unary(UnaryOp::AddrOf, sub); }
+    Binary *bin(BinaryOp op, Expr *lhs, Expr *rhs);
+    Select *select(Expr *c, Expr *t, Expr *f);
+    Index *index(Expr *base, Expr *idx);
+    Member *member(Expr *base, const FieldDecl *field, bool arrow);
+    Cast *cast(const Type *to, Expr *sub);
+    Call *call(FunctionDecl *callee, std::vector<Expr *> args);
+
+    Program &program() { return prog_; }
+    TypeTable &types() { return prog_.types(); }
+
+  private:
+    Program &prog_;
+    ASTContext &ctx_;
+};
+
+} // namespace ubfuzz::ast
+
+#endif // UBFUZZ_AST_TYPING_H

@@ -1,0 +1,66 @@
+#include "compiler/compiler.h"
+
+#include "ir/lowering.h"
+#include "opt/pass.h"
+#include "sanitizer/sanitizer.h"
+#include "support/diagnostics.h"
+
+namespace ubfuzz::compiler {
+
+std::string
+CompilerConfig::str() const
+{
+    std::string s = vendorName(vendor);
+    s += "-" + std::to_string(effectiveVersion());
+    s += " ";
+    s += optLevelName(level);
+    if (sanitizer != SanitizerKind::None) {
+        s += " -fsanitize=";
+        s += sanitizerName(sanitizer);
+    }
+    return s;
+}
+
+Binary
+compile(const ast::Program &program, const ast::PrintedProgram &printed,
+        const CompilerConfig &config)
+{
+    UBF_ASSERT(vendorSupports(config.vendor, config.sanitizer),
+               "sanitizer unsupported by vendor");
+    Binary binary;
+    binary.config = config;
+    binary.module = ir::lowerProgram(program, printed.map);
+
+    // Early optimizer (runs before the sanitizer pass; this is where
+    // legitimate UB elimination happens — Challenge 2).
+    auto early = opt::buildPipeline(config.vendor, config.level,
+                                    opt::Stage::EarlyOpt);
+    int iterations = optAtLeast(config.level, OptLevel::O2) ? 2 : 1;
+    opt::runPipeline(binary.module, early, iterations);
+
+    // Sanitizer instrumentation + check optimizer.
+    san::SanitizerContext ctx;
+    ctx.kind = config.sanitizer;
+    ctx.bugs = san::ActiveBugs(config.vendor, config.effectiveVersion(),
+                               config.level);
+    ctx.log = &binary.log;
+    san::instrument(binary.module, ctx);
+
+    // Late optimizer: cleanup that must not break checks.
+    auto late = opt::buildPipeline(config.vendor, config.level,
+                                   opt::Stage::LateOpt);
+    opt::runPipeline(binary.module, late, 1);
+
+    std::string verr = ir::verifyModule(binary.module);
+    UBF_ASSERT(verr.empty(), "post-compile verification failed: ", verr);
+    return binary;
+}
+
+Binary
+compileProgram(const ast::Program &program, const CompilerConfig &config)
+{
+    ast::PrintedProgram printed = ast::printProgram(program);
+    return compile(program, printed, config);
+}
+
+} // namespace ubfuzz::compiler

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The compiler facade: one call that plays the role of
+ * `gcc-13 -O2 -g -fsanitize=address a.c` in the paper.
+ *
+ * Pipeline (Figure 2): lower -> early optimizer passes -> sanitizer
+ * pass -> sanitizer-check optimizer -> late optimizer passes. Debug
+ * metadata (-g) is always on. The resulting Binary carries the compile
+ * log of injected-bug firings, which the fuzzer uses as ground truth
+ * when evaluating the crash-site mapping oracle.
+ */
+
+#ifndef UBFUZZ_COMPILER_COMPILER_H
+#define UBFUZZ_COMPILER_COMPILER_H
+
+#include <string>
+
+#include "ast/ast.h"
+#include "ast/printer.h"
+#include "ir/ir.h"
+#include "sanitizer/bug_catalog.h"
+#include "support/toolchain.h"
+
+namespace ubfuzz::compiler {
+
+struct CompilerConfig
+{
+    Vendor vendor = Vendor::GCC;
+    /** Simulated release; 0 means trunk (the campaign default). */
+    int version = 0;
+    OptLevel level = OptLevel::O0;
+    SanitizerKind sanitizer = SanitizerKind::None;
+
+    int
+    effectiveVersion() const
+    {
+        return version == 0 ? trunkVersion(vendor) : version;
+    }
+
+    /** Command-line-style rendering, e.g. "gcc-14 -O2 -fsanitize=asan". */
+    std::string str() const;
+
+    friend bool
+    operator==(const CompilerConfig &a, const CompilerConfig &b)
+    {
+        return a.vendor == b.vendor && a.version == b.version &&
+               a.level == b.level && a.sanitizer == b.sanitizer;
+    }
+};
+
+/** A compiled artifact: IR plus debug metadata plus the compile log. */
+struct Binary
+{
+    ir::Module module;
+    san::CompileLog log;
+    CompilerConfig config;
+};
+
+/**
+ * Compile an already-printed program. The PrintedProgram's SourceMap is
+ * the single source of truth for (line, offset) debug locations, so
+ * binaries of the same printed text are comparable by crash site.
+ */
+Binary compile(const ast::Program &program,
+               const ast::PrintedProgram &printed,
+               const CompilerConfig &config);
+
+/** Convenience overload that prints internally. */
+Binary compileProgram(const ast::Program &program,
+                      const CompilerConfig &config);
+
+} // namespace ubfuzz::compiler
+
+#endif // UBFUZZ_COMPILER_COMPILER_H

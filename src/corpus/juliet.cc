@@ -1,0 +1,175 @@
+#include "corpus/juliet.h"
+
+#include "frontend/parser.h"
+
+namespace ubfuzz::corpus {
+
+using ubgen::UBKind;
+
+const std::vector<JulietCase> &
+julietSuite()
+{
+    static const std::vector<JulietCase> suite = {
+        {"CWE121_stack_overflow_write", UBKind::BufferOverflowArray,
+         R"(int main(void) {
+    int data[10];
+    int i = 10;
+    data[i] = 7;
+    return 0;
+}
+)"},
+        {"CWE121_stack_overflow_loop", UBKind::BufferOverflowArray,
+         R"(int main(void) {
+    int data[8];
+    for (int i = 0; i <= 8; i += 1) {
+        data[i] = i;
+    }
+    return 0;
+}
+)"},
+        {"CWE122_heap_overflow_write", UBKind::BufferOverflowPointer,
+         R"(int main(void) {
+    int *data = (int*)__malloc(40l);
+    int i = 0;
+    while (i < 10) {
+        data[i] = 1;
+        i += 1;
+    }
+    *(data + 10) = 2;
+    __free((char*)data);
+    return 0;
+}
+)"},
+        {"CWE124_buffer_underwrite", UBKind::BufferOverflowPointer,
+         R"(int g[4] = {1, 2, 3, 4};
+int main(void) {
+    int *p = &g[0];
+    *(p - 1) = 9;
+    return 0;
+}
+)"},
+        {"CWE416_use_after_free_read", UBKind::UseAfterFree,
+         R"(int main(void) {
+    int *data = (int*)__malloc(8l);
+    data[0] = 42;
+    __free((char*)data);
+    return data[0];
+}
+)"},
+        {"CWE416_use_after_free_write", UBKind::UseAfterFree,
+         R"(int main(void) {
+    int *data = (int*)__malloc(16l);
+    data[0] = 1;
+    __free((char*)data);
+    data[1] = 2;
+    return 0;
+}
+)"},
+        {"CWE562_return_of_stack_addr", UBKind::UseAfterScope,
+         R"(int g = 1;
+int main(void) {
+    int *p = &g;
+    if (g) {
+        int local = 7;
+        p = &local;
+    }
+    return *p;
+}
+)"},
+        {"CWE476_null_deref_plain", UBKind::NullPtrDeref,
+         R"(int main(void) {
+    int *data = 0;
+    return *data;
+}
+)"},
+        {"CWE476_null_deref_branch", UBKind::NullPtrDeref,
+         R"(int cond = 1;
+int main(void) {
+    int v = 5;
+    int *data = &v;
+    if (cond) {
+        data = 0;
+    }
+    *data = 3;
+    return 0;
+}
+)"},
+        {"CWE190_int_overflow_add", UBKind::IntegerOverflow,
+         R"(int big = 2147483647;
+int main(void) {
+    int result = big + 1;
+    return result != 0;
+}
+)"},
+        {"CWE190_int_overflow_mul", UBKind::IntegerOverflow,
+         R"(int a = 2000000000;
+int b = 2000000000;
+int main(void) {
+    return (a * b) != 0;
+}
+)"},
+        {"CWE191_int_underflow_sub", UBKind::IntegerOverflow,
+         R"(int small = -2147483647;
+int main(void) {
+    int r = small - 2;
+    return r != 0;
+}
+)"},
+        {"CWE1335_shift_negative_left", UBKind::ShiftOverflow,
+         R"(int amount = -3;
+int main(void) {
+    return 1 << amount;
+}
+)"},
+        {"CWE1335_shift_negative_right", UBKind::ShiftOverflow,
+         R"(int amount = -1;
+int main(void) {
+    return 4 >> amount;
+}
+)"},
+        {"CWE369_div_by_zero", UBKind::DivideByZero,
+         R"(int zero = 0;
+int main(void) {
+    return 100 / zero;
+}
+)"},
+        {"CWE369_div_by_zero_expr", UBKind::DivideByZero,
+         R"(int a = 5;
+int b = 5;
+int main(void) {
+    return 100 / (a - b);
+}
+)"},
+        {"CWE457_uninit_branch", UBKind::UseOfUninitMemory,
+         R"(int main(void) {
+    int data;
+    if (data > 0) {
+        return 1;
+    }
+    return 0;
+}
+)"},
+        {"CWE457_uninit_loop_bound", UBKind::UseOfUninitMemory,
+         R"(int main(void) {
+    int n;
+    int s = 0;
+    while (s < n) {
+        s += 1;
+        if (s > 100) {
+            return s;
+        }
+    }
+    return s;
+}
+)"},
+    };
+    return suite;
+}
+
+std::unique_ptr<ast::Program>
+parseCase(const JulietCase &c)
+{
+    return frontend::parseOrDie(c.source);
+}
+
+} // namespace ubfuzz::corpus

@@ -1,0 +1,192 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace ubfuzz::frontend {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokKind> kKeywords = {
+    {"struct", TokKind::KwStruct}, {"void", TokKind::KwVoid},
+    {"char", TokKind::KwChar},     {"short", TokKind::KwShort},
+    {"int", TokKind::KwInt},       {"long", TokKind::KwLong},
+    {"unsigned", TokKind::KwUnsigned},
+    {"if", TokKind::KwIf},         {"else", TokKind::KwElse},
+    {"for", TokKind::KwFor},       {"while", TokKind::KwWhile},
+    {"return", TokKind::KwReturn}, {"break", TokKind::KwBreak},
+    {"continue", TokKind::KwContinue},
+};
+
+} // namespace
+
+LexResult
+lex(std::string_view src)
+{
+    LexResult result;
+    size_t i = 0;
+    int line = 1;
+    int col = 0;
+
+    auto peek = [&](size_t off = 0) -> char {
+        return i + off < src.size() ? src[i + off] : '\0';
+    };
+    auto advance = [&](size_t n = 1) {
+        for (size_t k = 0; k < n && i < src.size(); k++, i++) {
+            if (src[i] == '\n') {
+                line++;
+                col = 0;
+            } else {
+                col++;
+            }
+        }
+    };
+    auto push = [&](TokKind kind, size_t start, SourceLoc loc) {
+        Token t;
+        t.kind = kind;
+        t.text = src.substr(start, i - start);
+        t.loc = loc;
+        result.tokens.push_back(t);
+        return &result.tokens.back();
+    };
+
+    while (i < src.size()) {
+        char c = peek();
+        // Whitespace.
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            continue;
+        }
+        // Comments.
+        if (c == '/' && peek(1) == '/') {
+            while (i < src.size() && peek() != '\n')
+                advance();
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            advance(2);
+            while (i < src.size() && !(peek() == '*' && peek(1) == '/'))
+                advance();
+            advance(2);
+            continue;
+        }
+
+        SourceLoc loc{line, col};
+        size_t start = i;
+
+        // Identifiers and keywords.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            while (std::isalnum(static_cast<unsigned char>(peek())) ||
+                   peek() == '_')
+                advance();
+            std::string_view text = src.substr(start, i - start);
+            auto it = kKeywords.find(text);
+            push(it != kKeywords.end() ? it->second : TokKind::Ident,
+                 start, loc);
+            continue;
+        }
+
+        // Integer literals (decimal or hex) with u/l suffixes.
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            uint64_t value = 0;
+            if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+                advance(2);
+                while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+                    char d = peek();
+                    uint64_t digit =
+                        std::isdigit(static_cast<unsigned char>(d))
+                            ? static_cast<uint64_t>(d - '0')
+                            : static_cast<uint64_t>(
+                                  std::tolower(d) - 'a' + 10);
+                    value = value * 16 + digit;
+                    advance();
+                }
+            } else {
+                while (std::isdigit(static_cast<unsigned char>(peek()))) {
+                    value = value * 10 +
+                            static_cast<uint64_t>(peek() - '0');
+                    advance();
+                }
+            }
+            bool suf_u = false, suf_l = false;
+            while (peek() == 'u' || peek() == 'U' || peek() == 'l' ||
+                   peek() == 'L') {
+                if (peek() == 'u' || peek() == 'U')
+                    suf_u = true;
+                else
+                    suf_l = true;
+                advance();
+            }
+            Token *t = push(TokKind::IntLit, start, loc);
+            t->intValue = value;
+            t->suffixUnsigned = suf_u;
+            t->suffixLong = suf_l;
+            continue;
+        }
+
+        // Operators and punctuation (longest match first).
+        auto two = [&](char a, char b) {
+            return c == a && peek(1) == b;
+        };
+        TokKind kind;
+        int len = 2;
+        if (two('<', '<')) kind = TokKind::Shl;
+        else if (two('>', '>')) kind = TokKind::Shr;
+        else if (two('<', '=')) kind = TokKind::Le;
+        else if (two('>', '=')) kind = TokKind::Ge;
+        else if (two('=', '=')) kind = TokKind::EqEq;
+        else if (two('!', '=')) kind = TokKind::Ne;
+        else if (two('&', '&')) kind = TokKind::AmpAmp;
+        else if (two('|', '|')) kind = TokKind::PipePipe;
+        else if (two('+', '=')) kind = TokKind::PlusAssign;
+        else if (two('-', '=')) kind = TokKind::MinusAssign;
+        else if (two('*', '=')) kind = TokKind::StarAssign;
+        else if (two('&', '=')) kind = TokKind::AmpAssign;
+        else if (two('|', '=')) kind = TokKind::PipeAssign;
+        else if (two('^', '=')) kind = TokKind::CaretAssign;
+        else if (two('-', '>')) kind = TokKind::Arrow;
+        else {
+            len = 1;
+            switch (c) {
+              case '(': kind = TokKind::LParen; break;
+              case ')': kind = TokKind::RParen; break;
+              case '{': kind = TokKind::LBrace; break;
+              case '}': kind = TokKind::RBrace; break;
+              case '[': kind = TokKind::LBracket; break;
+              case ']': kind = TokKind::RBracket; break;
+              case ',': kind = TokKind::Comma; break;
+              case ';': kind = TokKind::Semi; break;
+              case '?': kind = TokKind::Question; break;
+              case ':': kind = TokKind::Colon; break;
+              case '+': kind = TokKind::Plus; break;
+              case '-': kind = TokKind::Minus; break;
+              case '*': kind = TokKind::Star; break;
+              case '/': kind = TokKind::Slash; break;
+              case '%': kind = TokKind::Percent; break;
+              case '&': kind = TokKind::Amp; break;
+              case '|': kind = TokKind::Pipe; break;
+              case '^': kind = TokKind::Caret; break;
+              case '~': kind = TokKind::Tilde; break;
+              case '!': kind = TokKind::Bang; break;
+              case '<': kind = TokKind::Lt; break;
+              case '>': kind = TokKind::Gt; break;
+              case '=': kind = TokKind::Assign; break;
+              case '.': kind = TokKind::Dot; break;
+              default:
+                result.error = "unexpected character '" +
+                               std::string(1, c) + "' at " + loc.str();
+                return result;
+            }
+        }
+        advance(static_cast<size_t>(len));
+        push(kind, start, loc);
+    }
+
+    Token end;
+    end.kind = TokKind::End;
+    end.loc = {line, col};
+    result.tokens.push_back(end);
+    return result;
+}
+
+} // namespace ubfuzz::frontend

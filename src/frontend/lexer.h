@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tokenizer for MiniC source text.
+ */
+
+#ifndef UBFUZZ_FRONTEND_LEXER_H
+#define UBFUZZ_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source_loc.h"
+
+namespace ubfuzz::frontend {
+
+enum class TokKind : uint8_t {
+    End, Ident, IntLit,
+    // Keywords
+    KwStruct, KwVoid, KwChar, KwShort, KwInt, KwLong, KwUnsigned,
+    KwIf, KwElse, KwFor, KwWhile, KwReturn, KwBreak, KwContinue,
+    // Punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi, Question, Colon,
+    // Operators
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Shl, Shr, Lt, Le, Gt, Ge, EqEq, Ne,
+    AmpAmp, PipePipe,
+    Assign, PlusAssign, MinusAssign, StarAssign,
+    AmpAssign, PipeAssign, CaretAssign,
+    Dot, Arrow,
+};
+
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string_view text;
+    SourceLoc loc;
+    /** For IntLit: magnitude and suffix flags. */
+    uint64_t intValue = 0;
+    bool suffixUnsigned = false;
+    bool suffixLong = false;
+};
+
+/** Lexing outcome: tokens, or an error message. */
+struct LexResult
+{
+    std::vector<Token> tokens;
+    std::string error;
+    bool ok() const { return error.empty(); }
+};
+
+/** Tokenize @p source. The tokens reference @p source's storage. */
+LexResult lex(std::string_view source);
+
+} // namespace ubfuzz::frontend
+
+#endif // UBFUZZ_FRONTEND_LEXER_H

@@ -1,0 +1,722 @@
+#include "frontend/parser.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/typing.h"
+#include "frontend/lexer.h"
+
+namespace ubfuzz::frontend {
+
+using namespace ast;
+
+namespace {
+
+/** Internal fail-fast parse error. */
+struct ParseError
+{
+    std::string message;
+};
+
+[[noreturn]] void
+errorAt(const Token &tok, const std::string &msg)
+{
+    throw ParseError{msg + " at " + tok.loc.str()};
+}
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : tokens_(std::move(tokens)), program_(std::make_unique<Program>()),
+          builder_(*program_)
+    {}
+
+    std::unique_ptr<Program>
+    run()
+    {
+        pushScope();
+        while (!at(TokKind::End))
+            parseTopLevel();
+        popScope();
+        if (FunctionDecl *m = program_->findFunction("main"))
+            program_->setMain(m);
+        return std::move(program_);
+    }
+
+  private:
+    //===------------------------------------------------------------===//
+    // Token plumbing
+    //===------------------------------------------------------------===//
+
+    const Token &peek(size_t off = 0) const
+    {
+        size_t i = pos_ + off;
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+
+    bool at(TokKind k) const { return peek().kind == k; }
+
+    const Token &
+    advance()
+    {
+        const Token &t = peek();
+        if (pos_ + 1 < tokens_.size())
+            pos_++;
+        return t;
+    }
+
+    bool
+    accept(TokKind k)
+    {
+        if (at(k)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    const Token &
+    expect(TokKind k, const char *what)
+    {
+        if (!at(k))
+            errorAt(peek(), std::string("expected ") + what);
+        return advance();
+    }
+
+    //===------------------------------------------------------------===//
+    // Scopes
+    //===------------------------------------------------------------===//
+
+    void pushScope() { scopes_.emplace_back(); }
+    void popScope() { scopes_.pop_back(); }
+
+    void
+    declare(VarDecl *v)
+    {
+        scopes_.back()[v->name()] = v;
+    }
+
+    VarDecl *
+    lookup(const std::string &name)
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto f = it->find(name);
+            if (f != it->end())
+                return f->second;
+        }
+        return nullptr;
+    }
+
+    //===------------------------------------------------------------===//
+    // Types
+    //===------------------------------------------------------------===//
+
+    bool
+    atTypeStart() const
+    {
+        switch (peek().kind) {
+          case TokKind::KwVoid: case TokKind::KwChar:
+          case TokKind::KwShort: case TokKind::KwInt:
+          case TokKind::KwLong: case TokKind::KwUnsigned:
+            return true;
+          case TokKind::KwStruct:
+            // "struct S x" is a type use; "struct S {" is a definition.
+            return peek(2).kind != TokKind::LBrace;
+          default:
+            return false;
+        }
+    }
+
+    const Type *
+    parseBaseType()
+    {
+        TypeTable &tt = program_->types();
+        if (accept(TokKind::KwVoid))
+            return tt.voidTy();
+        if (accept(TokKind::KwStruct)) {
+            const Token &name = expect(TokKind::Ident, "struct name");
+            StructDecl *s = program_->findStruct(std::string(name.text));
+            if (!s)
+                errorAt(name, "unknown struct");
+            return tt.structTy(s);
+        }
+        bool is_unsigned = accept(TokKind::KwUnsigned);
+        if (accept(TokKind::KwChar))
+            return tt.scalar(is_unsigned ? ScalarKind::U8 : ScalarKind::S8);
+        if (accept(TokKind::KwShort))
+            return tt.scalar(is_unsigned ? ScalarKind::U16
+                                         : ScalarKind::S16);
+        if (accept(TokKind::KwLong))
+            return tt.scalar(is_unsigned ? ScalarKind::U64
+                                         : ScalarKind::S64);
+        if (accept(TokKind::KwInt) || is_unsigned)
+            return tt.scalar(is_unsigned ? ScalarKind::U32
+                                         : ScalarKind::S32);
+        errorAt(peek(), "expected type");
+    }
+
+    const Type *
+    parsePointers(const Type *base)
+    {
+        while (accept(TokKind::Star))
+            base = program_->types().pointer(base);
+        return base;
+    }
+
+    //===------------------------------------------------------------===//
+    // Top level
+    //===------------------------------------------------------------===//
+
+    void
+    parseTopLevel()
+    {
+        if (at(TokKind::KwStruct) && peek(2).kind == TokKind::LBrace) {
+            parseStructDef();
+            return;
+        }
+        const Type *base = parseBaseType();
+        // One or more declarators: globals `int a = 1, *b = &a;` or a
+        // function definition.
+        bool first = true;
+        while (true) {
+            const Type *ty = parsePointers(base);
+            const Token &name = expect(TokKind::Ident, "identifier");
+            if (first && at(TokKind::LParen)) {
+                parseFunctionRest(ty, std::string(name.text));
+                return;
+            }
+            first = false;
+            parseGlobalRest(ty, name);
+            if (accept(TokKind::Comma))
+                continue;
+            expect(TokKind::Semi, "';'");
+            return;
+        }
+    }
+
+    void
+    parseStructDef()
+    {
+        expect(TokKind::KwStruct, "'struct'");
+        const Token &name = expect(TokKind::Ident, "struct name");
+        auto *s =
+            program_->ctx().make<StructDecl>(std::string(name.text));
+        program_->structs().push_back(s);
+        expect(TokKind::LBrace, "'{'");
+        while (!accept(TokKind::RBrace)) {
+            const Type *base = parseBaseType();
+            const Type *ty = parsePointers(base);
+            const Token &fname = expect(TokKind::Ident, "field name");
+            if (accept(TokKind::LBracket)) {
+                const Token &n = expect(TokKind::IntLit, "array size");
+                expect(TokKind::RBracket, "']'");
+                ty = program_->types().array(
+                    ty, static_cast<uint32_t>(n.intValue));
+            }
+            s->addField(program_->ctx().make<FieldDecl>(
+                std::string(fname.text), ty));
+            expect(TokKind::Semi, "';'");
+        }
+        expect(TokKind::Semi, "';'");
+    }
+
+    void
+    parseGlobalRest(const Type *ty, const Token &name)
+    {
+        if (accept(TokKind::LBracket)) {
+            const Token &n = expect(TokKind::IntLit, "array size");
+            expect(TokKind::RBracket, "']'");
+            ty = program_->types().array(ty,
+                                         static_cast<uint32_t>(n.intValue));
+        }
+        Expr *init = nullptr;
+        if (accept(TokKind::Assign))
+            init = parseInitializer(ty);
+        auto *g = program_->ctx().make<VarDecl>(
+            std::string(name.text), ty, Storage::Global, init);
+        program_->globals().push_back(g);
+        declare(g);
+    }
+
+    Expr *
+    parseInitializer(const Type *ty)
+    {
+        if (at(TokKind::LBrace)) {
+            advance();
+            std::vector<Expr *> elems;
+            if (!at(TokKind::RBrace)) {
+                elems.push_back(parseExpr());
+                while (accept(TokKind::Comma))
+                    elems.push_back(parseExpr());
+            }
+            expect(TokKind::RBrace, "'}'");
+            return program_->ctx().make<InitList>(std::move(elems), ty);
+        }
+        return parseExpr();
+    }
+
+    void
+    parseFunctionRest(const Type *ret, const std::string &name)
+    {
+        auto *fn = program_->ctx().make<FunctionDecl>(name, ret);
+        program_->functions().push_back(fn);
+        functions_[name] = fn;
+        expect(TokKind::LParen, "'('");
+        pushScope();
+        if (!accept(TokKind::RParen)) {
+            if (at(TokKind::KwVoid) && peek(1).kind == TokKind::RParen) {
+                advance();
+            } else {
+                do {
+                    const Type *pty = parsePointers(parseBaseType());
+                    const Token &pname =
+                        expect(TokKind::Ident, "parameter name");
+                    auto *p = program_->ctx().make<VarDecl>(
+                        std::string(pname.text), pty, Storage::Param,
+                        nullptr);
+                    fn->addParam(p);
+                    declare(p);
+                } while (accept(TokKind::Comma));
+            }
+            expect(TokKind::RParen, "')'");
+        }
+        currentFn_ = fn;
+        fn->setBody(parseBlock());
+        currentFn_ = nullptr;
+        popScope();
+    }
+
+    //===------------------------------------------------------------===//
+    // Statements
+    //===------------------------------------------------------------===//
+
+    Block *
+    parseBlock()
+    {
+        expect(TokKind::LBrace, "'{'");
+        auto *b = program_->ctx().make<Block>();
+        pushScope();
+        while (!accept(TokKind::RBrace))
+            b->append(parseStmt());
+        popScope();
+        return b;
+    }
+
+    Stmt *
+    parseStmt()
+    {
+        switch (peek().kind) {
+          case TokKind::LBrace:
+            return parseBlock();
+          case TokKind::KwIf: {
+            advance();
+            expect(TokKind::LParen, "'('");
+            Expr *cond = parseExpr();
+            expect(TokKind::RParen, "')'");
+            Block *then_b = parseBlockOrStmt();
+            Block *else_b = nullptr;
+            if (accept(TokKind::KwElse))
+                else_b = parseBlockOrStmt();
+            return program_->ctx().make<IfStmt>(cond, then_b, else_b);
+          }
+          case TokKind::KwWhile: {
+            advance();
+            expect(TokKind::LParen, "'('");
+            Expr *cond = parseExpr();
+            expect(TokKind::RParen, "')'");
+            return program_->ctx().make<WhileStmt>(cond,
+                                                   parseBlockOrStmt());
+          }
+          case TokKind::KwFor: {
+            advance();
+            expect(TokKind::LParen, "'('");
+            pushScope();
+            Stmt *init = nullptr;
+            if (!at(TokKind::Semi)) {
+                if (atTypeStart())
+                    init = parseDecl(/*consume_semi=*/false);
+                else
+                    init = parseAssign(/*consume_semi=*/false);
+            }
+            expect(TokKind::Semi, "';'");
+            Expr *cond = at(TokKind::Semi) ? nullptr : parseExpr();
+            expect(TokKind::Semi, "';'");
+            Stmt *step = at(TokKind::RParen)
+                             ? nullptr
+                             : parseAssign(/*consume_semi=*/false);
+            expect(TokKind::RParen, "')'");
+            Block *body = parseBlockOrStmt();
+            popScope();
+            return program_->ctx().make<ForStmt>(init, cond, step, body);
+          }
+          case TokKind::KwReturn: {
+            advance();
+            Expr *v = at(TokKind::Semi) ? nullptr : parseExpr();
+            expect(TokKind::Semi, "';'");
+            return program_->ctx().make<ReturnStmt>(v);
+          }
+          case TokKind::KwBreak:
+            advance();
+            expect(TokKind::Semi, "';'");
+            return program_->ctx().make<BreakStmt>();
+          case TokKind::KwContinue:
+            advance();
+            expect(TokKind::Semi, "';'");
+            return program_->ctx().make<ContinueStmt>();
+          default:
+            if (atTypeStart())
+                return parseDecl(/*consume_semi=*/true);
+            return parseAssign(/*consume_semi=*/true);
+        }
+    }
+
+    /** An if/while/for body: braced block, or a single statement that we
+     *  wrap in a block (the printer always emits braces). */
+    Block *
+    parseBlockOrStmt()
+    {
+        if (at(TokKind::LBrace))
+            return parseBlock();
+        auto *b = program_->ctx().make<Block>();
+        pushScope();
+        b->append(parseStmt());
+        popScope();
+        return b;
+    }
+
+    Stmt *
+    parseDecl(bool consume_semi)
+    {
+        const Type *base = parseBaseType();
+        const Type *ty = parsePointers(base);
+        const Token &name = expect(TokKind::Ident, "variable name");
+        if (accept(TokKind::LBracket)) {
+            const Token &n = expect(TokKind::IntLit, "array size");
+            expect(TokKind::RBracket, "']'");
+            ty = program_->types().array(ty,
+                                         static_cast<uint32_t>(n.intValue));
+        }
+        Expr *init = nullptr;
+        if (accept(TokKind::Assign))
+            init = parseInitializer(ty);
+        auto *v = program_->ctx().make<VarDecl>(
+            std::string(name.text), ty, Storage::Local, init);
+        declare(v);
+        if (consume_semi)
+            expect(TokKind::Semi, "';'");
+        return program_->ctx().make<DeclStmt>(v);
+    }
+
+    static std::optional<AssignOp>
+    assignOpFor(TokKind k)
+    {
+        switch (k) {
+          case TokKind::Assign: return AssignOp::Assign;
+          case TokKind::PlusAssign: return AssignOp::AddAssign;
+          case TokKind::MinusAssign: return AssignOp::SubAssign;
+          case TokKind::StarAssign: return AssignOp::MulAssign;
+          case TokKind::AmpAssign: return AssignOp::AndAssign;
+          case TokKind::PipeAssign: return AssignOp::OrAssign;
+          case TokKind::CaretAssign: return AssignOp::XorAssign;
+          default: return std::nullopt;
+        }
+    }
+
+    /** Assignment or expression statement. */
+    Stmt *
+    parseAssign(bool consume_semi)
+    {
+        Expr *lhs = parseExpr();
+        Stmt *result;
+        if (auto op = assignOpFor(peek().kind)) {
+            if (!isLValue(lhs))
+                errorAt(peek(), "assignment target is not an lvalue");
+            advance();
+            Expr *rhs = parseExpr();
+            result = program_->ctx().make<AssignStmt>(*op, lhs, rhs);
+        } else {
+            result = program_->ctx().make<ExprStmt>(lhs);
+        }
+        if (consume_semi)
+            expect(TokKind::Semi, "';'");
+        return result;
+    }
+
+    //===------------------------------------------------------------===//
+    // Expressions
+    //===------------------------------------------------------------===//
+
+    Expr *
+    parseExpr()
+    {
+        return parseConditional();
+    }
+
+    Expr *
+    parseConditional()
+    {
+        Expr *cond = parseBinary(1);
+        if (!accept(TokKind::Question))
+            return cond;
+        Expr *t = parseExpr();
+        expect(TokKind::Colon, "':'");
+        Expr *f = parseConditional();
+        return builder_.select(cond, t, f);
+    }
+
+    static std::optional<BinaryOp>
+    binOpFor(TokKind k)
+    {
+        switch (k) {
+          case TokKind::PipePipe: return BinaryOp::LOr;
+          case TokKind::AmpAmp: return BinaryOp::LAnd;
+          case TokKind::Pipe: return BinaryOp::BitOr;
+          case TokKind::Caret: return BinaryOp::BitXor;
+          case TokKind::Amp: return BinaryOp::BitAnd;
+          case TokKind::EqEq: return BinaryOp::Eq;
+          case TokKind::Ne: return BinaryOp::Ne;
+          case TokKind::Lt: return BinaryOp::Lt;
+          case TokKind::Le: return BinaryOp::Le;
+          case TokKind::Gt: return BinaryOp::Gt;
+          case TokKind::Ge: return BinaryOp::Ge;
+          case TokKind::Shl: return BinaryOp::Shl;
+          case TokKind::Shr: return BinaryOp::Shr;
+          case TokKind::Plus: return BinaryOp::Add;
+          case TokKind::Minus: return BinaryOp::Sub;
+          case TokKind::Star: return BinaryOp::Mul;
+          case TokKind::Slash: return BinaryOp::Div;
+          case TokKind::Percent: return BinaryOp::Rem;
+          default: return std::nullopt;
+        }
+    }
+
+    /** Precedence-climbing over binary operators. */
+    Expr *
+    parseBinary(int min_prec)
+    {
+        Expr *lhs = parseUnary();
+        while (true) {
+            auto op = binOpFor(peek().kind);
+            if (!op || binaryOpPrecedence(*op) < min_prec)
+                return lhs;
+            advance();
+            Expr *rhs = parseBinary(binaryOpPrecedence(*op) + 1);
+            lhs = builder_.bin(*op, lhs, rhs);
+        }
+    }
+
+    bool
+    atCastStart() const
+    {
+        if (!at(TokKind::LParen))
+            return false;
+        switch (peek(1).kind) {
+          case TokKind::KwVoid: case TokKind::KwChar:
+          case TokKind::KwShort: case TokKind::KwInt:
+          case TokKind::KwLong: case TokKind::KwUnsigned:
+          case TokKind::KwStruct:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    Expr *
+    parseUnary()
+    {
+        switch (peek().kind) {
+          case TokKind::Minus:
+            advance();
+            return builder_.unary(UnaryOp::Neg, parseUnary());
+          case TokKind::Tilde:
+            advance();
+            return builder_.unary(UnaryOp::BitNot, parseUnary());
+          case TokKind::Bang:
+            advance();
+            return builder_.unary(UnaryOp::LogNot, parseUnary());
+          case TokKind::Star: {
+            advance();
+            Expr *sub = parseUnary();
+            if (!sub->type()->isPointer() && !sub->type()->isArray())
+                errorAt(peek(), "dereference of non-pointer");
+            return builder_.deref(sub);
+          }
+          case TokKind::Amp: {
+            advance();
+            Expr *sub = parseUnary();
+            if (!isLValue(sub))
+                errorAt(peek(), "address of non-lvalue");
+            return builder_.addrOf(sub);
+          }
+          default:
+            if (atCastStart()) {
+                advance(); // '('
+                const Type *ty = parsePointers(parseBaseType());
+                expect(TokKind::RParen, "')'");
+                return builder_.cast(ty, parseUnary());
+            }
+            return parsePostfix();
+        }
+    }
+
+    Expr *
+    parsePostfix()
+    {
+        Expr *e = parsePrimary();
+        while (true) {
+            if (accept(TokKind::LBracket)) {
+                Expr *idx = parseExpr();
+                expect(TokKind::RBracket, "']'");
+                if (!e->type()->isArray() && !e->type()->isPointer())
+                    errorAt(peek(), "subscript of non-array");
+                e = builder_.index(e, idx);
+            } else if (accept(TokKind::Dot)) {
+                const Token &f = expect(TokKind::Ident, "field name");
+                e = makeMember(e, f, /*arrow=*/false);
+            } else if (accept(TokKind::Arrow)) {
+                const Token &f = expect(TokKind::Ident, "field name");
+                e = makeMember(e, f, /*arrow=*/true);
+            } else {
+                return e;
+            }
+        }
+    }
+
+    Expr *
+    makeMember(Expr *base, const Token &fname, bool arrow)
+    {
+        const Type *bt = base->type();
+        if (arrow) {
+            if (!bt->isPointer() || !bt->element()->isStruct())
+                errorAt(fname, "'->' on non-struct-pointer");
+            bt = bt->element();
+        } else if (!bt->isStruct()) {
+            errorAt(fname, "'.' on non-struct");
+        }
+        const FieldDecl *field =
+            bt->structDecl()->findField(std::string(fname.text));
+        if (!field)
+            errorAt(fname, "no such field");
+        return builder_.member(base, field, arrow);
+    }
+
+    static const std::unordered_map<std::string_view, Builtin> &
+    builtinNames()
+    {
+        static const std::unordered_map<std::string_view, Builtin> map = {
+            {"__malloc", Builtin::Malloc},
+            {"__free", Builtin::Free},
+            {"__checksum", Builtin::Checksum},
+            {"__log_val", Builtin::LogVal},
+            {"__log_ptr", Builtin::LogPtr},
+            {"__log_buf", Builtin::LogBuf},
+            {"__log_scope_enter", Builtin::LogScopeEnter},
+            {"__log_scope_exit", Builtin::LogScopeExit},
+        };
+        return map;
+    }
+
+    Expr *
+    parsePrimary()
+    {
+        if (at(TokKind::IntLit)) {
+            const Token &t = advance();
+            ScalarKind k;
+            if (t.suffixUnsigned && t.suffixLong)
+                k = ScalarKind::U64;
+            else if (t.suffixLong)
+                k = ScalarKind::S64;
+            else if (t.suffixUnsigned)
+                k = ScalarKind::U32;
+            else
+                k = t.intValue <= 0x7fffffffULL ? ScalarKind::S32
+                                                : ScalarKind::S64;
+            return builder_.litOf(t.intValue, program_->types().scalar(k));
+        }
+        if (at(TokKind::Ident)) {
+            const Token &t = advance();
+            if (at(TokKind::LParen))
+                return parseCall(t);
+            VarDecl *v = lookup(std::string(t.text));
+            if (!v)
+                errorAt(t, "unknown variable '" + std::string(t.text) +
+                               "'");
+            return builder_.ref(v);
+        }
+        if (accept(TokKind::LParen)) {
+            Expr *e = parseExpr();
+            expect(TokKind::RParen, "')'");
+            return e;
+        }
+        errorAt(peek(), "expected expression");
+    }
+
+    Expr *
+    parseCall(const Token &name)
+    {
+        FunctionDecl *fn = nullptr;
+        auto bit = builtinNames().find(name.text);
+        if (bit != builtinNames().end()) {
+            fn = program_->builtin(bit->second);
+        } else {
+            auto fit = functions_.find(std::string(name.text));
+            if (fit == functions_.end())
+                errorAt(name, "call to unknown function '" +
+                                  std::string(name.text) + "'");
+            fn = fit->second;
+        }
+        expect(TokKind::LParen, "'('");
+        std::vector<Expr *> args;
+        if (!at(TokKind::RParen)) {
+            args.push_back(parseExpr());
+            while (accept(TokKind::Comma))
+                args.push_back(parseExpr());
+        }
+        expect(TokKind::RParen, "')'");
+        if (args.size() != fn->params().size())
+            errorAt(name, "wrong number of arguments to '" +
+                              std::string(name.text) + "'");
+        return builder_.call(fn, std::move(args));
+    }
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+    std::unique_ptr<Program> program_;
+    ExprBuilder builder_;
+    std::vector<std::unordered_map<std::string, VarDecl *>> scopes_;
+    std::unordered_map<std::string, FunctionDecl *> functions_;
+    FunctionDecl *currentFn_ = nullptr;
+};
+
+} // namespace
+
+ParseResult
+parseProgram(std::string_view source)
+{
+    ParseResult result;
+    LexResult lexed = lex(source);
+    if (!lexed.ok()) {
+        result.error = lexed.error;
+        return result;
+    }
+    try {
+        result.program = Parser(std::move(lexed.tokens)).run();
+    } catch (const ParseError &e) {
+        result.error = e.message;
+    }
+    return result;
+}
+
+std::unique_ptr<ast::Program>
+parseOrDie(std::string_view source)
+{
+    ParseResult r = parseProgram(source);
+    if (!r.ok())
+        UBF_PANIC("parse failed: ", r.error, "\nsource:\n",
+                  std::string(source));
+    return std::move(r.program);
+}
+
+} // namespace ubfuzz::frontend

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Recursive-descent parser for MiniC.
+ *
+ * Parses the exact language the pretty printer emits (round-trip safe)
+ * plus ordinary hand-written programs such as the paper's Figures 1, 3,
+ * 8 and 12a-f, which are embedded in the corpus and examples.
+ */
+
+#ifndef UBFUZZ_FRONTEND_PARSER_H
+#define UBFUZZ_FRONTEND_PARSER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ast/ast.h"
+
+namespace ubfuzz::frontend {
+
+/** Result of parsing: a program, or a diagnostic. */
+struct ParseResult
+{
+    std::unique_ptr<ast::Program> program;
+    std::string error;
+
+    bool ok() const { return program != nullptr; }
+};
+
+/** Parse a full MiniC translation unit. */
+ParseResult parseProgram(std::string_view source);
+
+/**
+ * Parse a translation unit that is expected to be valid; panics with the
+ * diagnostic if it is not. For embedded corpus sources and tests.
+ */
+std::unique_ptr<ast::Program> parseOrDie(std::string_view source);
+
+} // namespace ubfuzz::frontend
+
+#endif // UBFUZZ_FRONTEND_PARSER_H

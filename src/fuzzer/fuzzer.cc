@@ -1,0 +1,302 @@
+#include "fuzzer/fuzzer.h"
+
+#include "ast/printer.h"
+#include "corpus/juliet.h"
+#include "ir/lowering.h"
+#include "mutation/music.h"
+#include "oracle/oracle.h"
+#include "support/rng.h"
+#include "vm/vm.h"
+
+namespace ubfuzz::fuzzer {
+
+using ubgen::UBKind;
+
+const char *
+sourceModeName(SourceMode m)
+{
+    switch (m) {
+      case SourceMode::UBFuzz: return "ubfuzz";
+      case SourceMode::Music: return "music";
+      case SourceMode::CsmithNoSafe: return "csmith-nosafe";
+      case SourceMode::Juliet: return "juliet";
+    }
+    return "?";
+}
+
+UBKind
+kindOfReport(vm::ReportKind r)
+{
+    using R = vm::ReportKind;
+    switch (r) {
+      case R::ArrayIndexOOB:
+        return UBKind::BufferOverflowArray;
+      case R::StackBufferOverflow:
+      case R::GlobalBufferOverflow:
+      case R::HeapBufferOverflow:
+        return UBKind::BufferOverflowPointer;
+      case R::HeapUseAfterFree:
+        return UBKind::UseAfterFree;
+      case R::StackUseAfterScope:
+        return UBKind::UseAfterScope;
+      case R::NullDeref:
+        return UBKind::NullPtrDeref;
+      case R::SignedIntegerOverflow:
+        return UBKind::IntegerOverflow;
+      case R::ShiftOutOfBounds:
+        return UBKind::ShiftOverflow;
+      case R::DivByZero:
+        return UBKind::DivideByZero;
+      default:
+        return UBKind::UseOfUninitMemory;
+    }
+}
+
+namespace {
+
+/**
+ * Can a *program-wide* defect firing (one recorded without a source
+ * location: redzone sizing, scope-poison policy, MSan propagation)
+ * plausibly explain a missed UB of this kind? Location-specific
+ * firings are matched by location instead.
+ */
+bool
+globalFiringExplains(san::BugId id, UBKind kind)
+{
+    switch (id) {
+      case san::BugId::GccAsanStackRedzoneMultiple32:
+      case san::BugId::LlvmAsanGlobalSmallArrayRedzoneSkip:
+        return kind == UBKind::BufferOverflowArray ||
+               kind == UBKind::BufferOverflowPointer;
+      case san::BugId::GccAsanScopePoisonLoopRemoved:
+      case san::BugId::LlvmAsanEscapedScopeNoPoison:
+        return kind == UBKind::UseAfterScope;
+      case san::BugId::LlvmMsanSubConstDefined:
+        return kind == UBKind::UseOfUninitMemory;
+      default:
+        return false;
+    }
+}
+
+/** Ground-truth attribution: which injected defect explains a missed
+ *  report at @p ubLoc for UB kind @p kind? -1 when none does. */
+int
+attributeFiring(const san::CompileLog &log, SourceLoc ubLoc, UBKind kind)
+{
+    for (const auto &f : log.firings)
+        if (f.loc == ubLoc)
+            return static_cast<int>(f.id);
+    for (const auto &f : log.firings)
+        if (!f.loc.isValid() && globalFiringExplains(f.id, kind))
+            return static_cast<int>(f.id);
+    return -1;
+}
+
+/** A program queued for differential testing with known ground truth. */
+struct TestItem
+{
+    std::unique_ptr<ast::Program> program;
+    UBKind kind;
+    /** Site node id (UBFuzz mode) or 0 (baselines use gtLoc only). */
+    uint32_t siteId = 0;
+    /** Expected UB location; computed per printing. */
+    SourceLoc gtLoc;
+};
+
+class Campaign
+{
+  public:
+    explicit Campaign(const CampaignConfig &cfg)
+        : cfg_(cfg), rng_(cfg.seed * 0x2545F4914F6CDD1DULL + 99)
+    {}
+
+    CampaignStats
+    run()
+    {
+        if (cfg_.source == SourceMode::Juliet) {
+            for (const corpus::JulietCase &c : corpus::julietSuite()) {
+                stats_.seeds++;
+                auto prog = corpus::parseCase(c);
+                classifyAndTest(std::move(prog));
+            }
+            return std::move(stats_);
+        }
+        for (int i = 0; i < cfg_.numSeeds; i++) {
+            stats_.seeds++;
+            gen::GeneratorConfig gc;
+            gc.seed = cfg_.seed * 1000003ULL +
+                      static_cast<uint64_t>(i);
+            switch (cfg_.source) {
+              case SourceMode::UBFuzz: {
+                gc.safeMath = true;
+                auto seed = gen::generateProgram(gc);
+                ubgen::UBGenerator ubg(*seed);
+                if (!ubg.profiled())
+                    break;
+                auto programs =
+                    ubg.generateAll(rng_, cfg_.capPerKind);
+                for (auto &ub : programs) {
+                    if (!ubgen::validateUBProgram(ub)) {
+                        stats_.nonTriggering++;
+                        continue;
+                    }
+                    TestItem item;
+                    item.program = std::move(ub.program);
+                    item.kind = ub.kind;
+                    item.siteId = ub.siteId;
+                    testItem(std::move(item));
+                }
+                break;
+              }
+              case SourceMode::Music: {
+                gc.safeMath = true;
+                auto seed = gen::generateProgram(gc);
+                for (int m = 0; m < cfg_.mutantsPerSeed; m++) {
+                    auto mutant = mutation::musicMutate(*seed, rng_);
+                    if (!mutant)
+                        continue;
+                    classifyAndTest(std::move(mutant));
+                }
+                break;
+              }
+              case SourceMode::CsmithNoSafe: {
+                gc.safeMath = false;
+                classifyAndTest(gen::generateProgram(gc));
+                break;
+              }
+              case SourceMode::Juliet:
+                break;
+            }
+        }
+        return std::move(stats_);
+    }
+
+  private:
+    CampaignConfig cfg_;
+    Rng rng_;
+    CampaignStats stats_;
+
+    /** Ground-truth classify a baseline program, then test if UB. */
+    void
+    classifyAndTest(std::unique_ptr<ast::Program> prog)
+    {
+        ast::PrintedProgram printed = ast::printProgram(*prog);
+        ir::Module mod = ir::lowerProgram(*prog, printed.map);
+        vm::ExecOptions opts;
+        opts.groundTruth = true;
+        opts.stepLimit = cfg_.stepLimit;
+        vm::ExecResult r = vm::execute(mod, opts);
+        if (r.kind != vm::ExecResult::Kind::Report) {
+            stats_.noUB++;
+            return;
+        }
+        TestItem item;
+        item.program = std::move(prog);
+        item.kind = kindOfReport(r.report);
+        item.gtLoc = r.reportLoc;
+        testItem(std::move(item));
+    }
+
+    void
+    testItem(TestItem item)
+    {
+        stats_.ubPrograms++;
+        stats_.perKind[static_cast<size_t>(item.kind)]++;
+
+        ast::PrintedProgram printed = ast::printProgram(*item.program);
+        SourceLoc ub_loc =
+            item.siteId ? printed.map.loc(item.siteId) : item.gtLoc;
+
+        bool program_discrepant = false;
+        bool program_selected = false;
+
+        for (SanitizerKind sani : ubgen::sanitizersFor(item.kind)) {
+            std::vector<compiler::CompilerConfig> configs =
+                oracle::testingMatrix(sani);
+            if (cfg_.onlyO0) {
+                std::erase_if(configs,
+                              [](const compiler::CompilerConfig &c) {
+                                  return c.level != OptLevel::O0;
+                              });
+            }
+            oracle::DifferentialResult diff = oracle::runDifferential(
+                *item.program, printed, configs, cfg_.stepLimit);
+
+            // Wrong-report detection: a binary reports, but at the
+            // wrong location, and a wrong-line-information defect
+            // fired at the true UB site.
+            for (const auto &oc : diff.outcomes) {
+                if (!oc.result.crashed() ||
+                    oc.result.reportLoc == ub_loc)
+                    continue;
+                for (const auto &f : oc.log.firings) {
+                    if (f.loc == ub_loc &&
+                        san::bugInfo(f.id).category ==
+                            san::BugCategory::WrongLineInformation) {
+                        stats_.wrongReports++;
+                        stats_.wrongReportBugs.insert(f.id);
+                        break;
+                    }
+                }
+            }
+
+            if (!diff.hasDiscrepancy())
+                continue;
+            program_discrepant = true;
+
+            for (const auto &v : diff.verdicts) {
+                stats_.verdictPairs++;
+                const oracle::ConfigOutcome &missing =
+                    diff.outcomes[v.nonCrashingIdx];
+                int attributed =
+                    attributeFiring(missing.log, ub_loc, item.kind);
+                bool gt_bug = attributed >= 0;
+                bool selected = cfg_.useOracle ? v.isBug : true;
+                if (!selected) {
+                    stats_.droppedPairs++;
+                    if (gt_bug)
+                        stats_.droppedTrueBug++;
+                    continue;
+                }
+                stats_.selectedPairs++;
+                program_selected = true;
+                if (gt_bug)
+                    stats_.selectedTrueBug++;
+                else
+                    stats_.selectedOptimization++;
+
+                FindingRecord rec;
+                rec.kind = item.kind;
+                rec.crashing = diff.outcomes[v.crashingIdx].config;
+                rec.missing = missing.config;
+                rec.ubLoc = ub_loc;
+                rec.groundTruthBug = gt_bug;
+                if (gt_bug) {
+                    rec.attributedBug = attributed;
+                    san::BugId id = static_cast<san::BugId>(attributed);
+                    stats_.bugFindingCounts[id]++;
+                    stats_.bugFirstKind.emplace(id, item.kind);
+                    stats_.bugLevels[id].insert(missing.config.level);
+                } else {
+                    stats_.invalidFindings++;
+                }
+                if (stats_.findings.size() < 200)
+                    stats_.findings.push_back(rec);
+            }
+        }
+        if (program_discrepant)
+            stats_.discrepantPrograms++;
+        if (program_selected)
+            stats_.oracleSelectedPrograms++;
+    }
+};
+
+} // namespace
+
+CampaignStats
+runCampaign(const CampaignConfig &config)
+{
+    return Campaign(config).run();
+}
+
+} // namespace ubfuzz::fuzzer

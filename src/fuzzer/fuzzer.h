@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The UBfuzz campaign driver (§4.1 "Testing process"): generate seeds,
+ * derive UB programs, differentially test the sanitizer matrix, apply
+ * crash-site mapping, and attribute findings against the injected-bug
+ * ground truth.
+ *
+ * The same driver also runs the paper's baselines by swapping the UB
+ * program source (MUSIC mutants, Csmith-NoSafe, the Juliet-like
+ * corpus) — the §4.3 comparison — and the ablations (oracle off;
+ * -O0-only testing).
+ */
+
+#ifndef UBFUZZ_FUZZER_FUZZER_H
+#define UBFUZZ_FUZZER_FUZZER_H
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "generator/generator.h"
+#include "sanitizer/bug_catalog.h"
+#include "ubgen/ubgen.h"
+
+namespace ubfuzz::fuzzer {
+
+/** Where UB programs come from (Table 4's generator column). */
+enum class SourceMode : uint8_t { UBFuzz, Music, CsmithNoSafe, Juliet };
+
+const char *sourceModeName(SourceMode m);
+
+struct CampaignConfig
+{
+    uint64_t seed = 1;
+    /** Seed programs to process (ignored for Juliet). */
+    int numSeeds = 40;
+    /** UB programs per (seed, kind) for UBFuzz mode. */
+    size_t capPerKind = 3;
+    /** Mutants per seed for Music mode (paper: ~14). */
+    int mutantsPerSeed = 14;
+    SourceMode source = SourceMode::UBFuzz;
+    /** Crash-site mapping on/off (ablation: accept every discrepancy). */
+    bool useOracle = true;
+    /** Ablation: test only at -O0 (§1: misses higher-level bugs). */
+    bool onlyO0 = false;
+    uint64_t stepLimit = 1'000'000;
+};
+
+/** One oracle-selected (program, missing-config) finding. */
+struct FindingRecord
+{
+    ubgen::UBKind kind;
+    compiler::CompilerConfig crashing;
+    compiler::CompilerConfig missing;
+    SourceLoc ubLoc;
+    /** Ground truth: an injected bug influenced the missing binary. */
+    bool groundTruthBug = false;
+    int attributedBug = -1; ///< san::BugId when groundTruthBug
+};
+
+struct CampaignStats
+{
+    size_t seeds = 0;
+    /** UB programs actually tested (validated / classified). */
+    size_t ubPrograms = 0;
+    size_t perKind[ubgen::kNumUBKinds] = {};
+    /** Generated programs that did not trigger UB (skipped). */
+    size_t nonTriggering = 0;
+    /** Baseline programs with no UB at all (Table 4 "No UB"). */
+    size_t noUB = 0;
+
+    size_t discrepantPrograms = 0;
+    size_t oracleSelectedPrograms = 0;
+    /** Individual (crash, silent) pairs examined / selected. */
+    size_t verdictPairs = 0;
+    size_t selectedPairs = 0;
+    /** Ground-truth classification of selected pairs (RQ3 precision). */
+    size_t selectedTrueBug = 0;
+    size_t selectedOptimization = 0;
+    /** Ground-truth classification of dropped pairs (RQ3 recall). */
+    size_t droppedPairs = 0;
+    size_t droppedTrueBug = 0;
+
+    /** Distinct injected bugs found, with per-bug details. */
+    std::map<san::BugId, size_t> bugFindingCounts;
+    std::map<san::BugId, ubgen::UBKind> bugFirstKind;
+    std::map<san::BugId, std::set<OptLevel>> bugLevels;
+
+    /** Wrong-report findings (report produced at a wrong location). */
+    size_t wrongReports = 0;
+    std::set<san::BugId> wrongReportBugs;
+
+    /** Oracle-selected discrepancies not explained by any injected
+     *  bug — candidate invalid reports (the paper's Figure 8 case). */
+    size_t invalidFindings = 0;
+
+    std::vector<FindingRecord> findings; ///< capped sample
+
+    size_t distinctBugsFound() const { return bugFindingCounts.size(); }
+};
+
+/** Run one campaign. Deterministic in the config. */
+CampaignStats runCampaign(const CampaignConfig &config);
+
+/** Map a ground-truth report to the UB kind taxonomy. */
+ubgen::UBKind kindOfReport(vm::ReportKind r);
+
+} // namespace ubfuzz::fuzzer
+
+#endif // UBFUZZ_FUZZER_FUZZER_H

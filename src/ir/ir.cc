@@ -1,0 +1,300 @@
+#include "ir/ir.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace ubfuzz::ir {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Const: return "const";
+      case Opcode::Bin: return "bin";
+      case Opcode::Cast: return "cast";
+      case Opcode::Select: return "select";
+      case Opcode::FrameAddr: return "frameaddr";
+      case Opcode::GlobalAddr: return "globaladdr";
+      case Opcode::Gep: return "gep";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::MemCopy: return "memcopy";
+      case Opcode::Br: return "br";
+      case Opcode::CondBr: return "condbr";
+      case Opcode::Ret: return "ret";
+      case Opcode::Call: return "call";
+      case Opcode::Malloc: return "malloc";
+      case Opcode::Free: return "free";
+      case Opcode::Checksum: return "checksum";
+      case Opcode::LogVal: return "log_val";
+      case Opcode::LogPtr: return "log_ptr";
+      case Opcode::LogBuf: return "log_buf";
+      case Opcode::LogScopeEnter: return "log_scope_enter";
+      case Opcode::LogScopeExit: return "log_scope_exit";
+      case Opcode::LifetimeStart: return "lifetime_start";
+      case Opcode::LifetimeEnd: return "lifetime_end";
+      case Opcode::AsanCheck: return "asan_check";
+      case Opcode::UbsanArith: return "ubsan_arith";
+      case Opcode::UbsanShift: return "ubsan_shift";
+      case Opcode::UbsanDiv: return "ubsan_div";
+      case Opcode::UbsanNull: return "ubsan_null";
+      case Opcode::UbsanBounds: return "ubsan_bounds";
+      case Opcode::MsanCheck: return "msan_check";
+    }
+    return "?";
+}
+
+uint64_t
+canonicalValue(uint64_t raw, ScalarKind k)
+{
+    int bits = ast::scalarBits(k);
+    if (bits >= 64 || bits == 0)
+        return raw;
+    uint64_t mask = (1ULL << bits) - 1;
+    raw &= mask;
+    if (ast::scalarSigned(k) && (raw & (1ULL << (bits - 1))))
+        raw |= ~mask;
+    return raw;
+}
+
+uint64_t
+evalBinary(BinOp op, ScalarKind k, uint64_t a, uint64_t b, bool &trapped)
+{
+    trapped = false;
+    a = canonicalValue(a, k);
+    b = canonicalValue(b, k);
+    bool sgn = ast::scalarSigned(k);
+    int bits = ast::scalarBits(k);
+    uint64_t mask = bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+    uint64_t r = 0;
+    switch (op) {
+      case BinOp::Add: r = a + b; break;
+      case BinOp::Sub: r = a - b; break;
+      case BinOp::Mul: r = a * b; break;
+      case BinOp::Div:
+      case BinOp::Rem: {
+        if (canonicalValue(b, k) == 0) {
+            trapped = true;
+            return 0;
+        }
+        if (sgn) {
+            int64_t sa = static_cast<int64_t>(a);
+            int64_t sb = static_cast<int64_t>(b);
+            int64_t minv = bits >= 64 ? INT64_MIN : -(1LL << (bits - 1));
+            if (sa == minv && sb == -1) {
+                trapped = true;
+                return 0;
+            }
+            r = static_cast<uint64_t>(op == BinOp::Div ? sa / sb
+                                                       : sa % sb);
+        } else {
+            uint64_t ua = a & mask, ub = b & mask;
+            r = op == BinOp::Div ? ua / ub : ua % ub;
+        }
+        break;
+      }
+      case BinOp::Shl:
+      case BinOp::Shr: {
+        uint64_t count = b & (bits == 64 ? 63 : 31);
+        if (op == BinOp::Shl)
+            r = a << count;
+        else if (sgn)
+            r = static_cast<uint64_t>(static_cast<int64_t>(a) >> count);
+        else
+            r = (a & mask) >> count;
+        break;
+      }
+      case BinOp::BitAnd: r = a & b; break;
+      case BinOp::BitOr: r = a | b; break;
+      case BinOp::BitXor: r = a ^ b; break;
+      case BinOp::Lt:
+        return sgn ? static_cast<int64_t>(a) < static_cast<int64_t>(b)
+                   : (a & mask) < (b & mask);
+      case BinOp::Le:
+        return sgn ? static_cast<int64_t>(a) <= static_cast<int64_t>(b)
+                   : (a & mask) <= (b & mask);
+      case BinOp::Gt:
+        return sgn ? static_cast<int64_t>(a) > static_cast<int64_t>(b)
+                   : (a & mask) > (b & mask);
+      case BinOp::Ge:
+        return sgn ? static_cast<int64_t>(a) >= static_cast<int64_t>(b)
+                   : (a & mask) >= (b & mask);
+      case BinOp::Eq:
+        return a == b;
+      case BinOp::Ne:
+        return a != b;
+      case BinOp::LAnd:
+      case BinOp::LOr:
+        UBF_PANIC("logical ops never reach evalBinary");
+    }
+    return canonicalValue(r, k);
+}
+
+namespace {
+
+std::string
+valueText(const Value &v)
+{
+    if (v.isReg())
+        return "%" + std::to_string(v.reg);
+    if (v.isImm())
+        return std::to_string(static_cast<int64_t>(v.imm));
+    return "_";
+}
+
+void
+printInst(std::ostringstream &os, const Inst &i)
+{
+    os << "    ";
+    if (i.dst)
+        os << "%" << i.dst << " = ";
+    os << opcodeName(i.op);
+    if (i.op == Opcode::Bin)
+        os << "." << ast::binaryOpSpelling(i.binOp);
+    os << "." << ast::scalarName(i.kind);
+    if (!i.a.isNone())
+        os << " " << valueText(i.a);
+    if (!i.b.isNone())
+        os << ", " << valueText(i.b);
+    if (!i.c.isNone())
+        os << ", " << valueText(i.c);
+    for (const Value &arg : i.args)
+        os << ", " << valueText(arg);
+    if (i.op == Opcode::Br)
+        os << " -> bb" << i.targets[0];
+    if (i.op == Opcode::CondBr)
+        os << " -> bb" << i.targets[0] << ", bb" << i.targets[1];
+    if (i.op == Opcode::Call)
+        os << " fn#" << i.callee;
+    if (i.op == Opcode::FrameAddr || i.op == Opcode::GlobalAddr ||
+        i.op == Opcode::LifetimeStart || i.op == Opcode::LifetimeEnd)
+        os << " obj#" << i.object;
+    if (i.imm)
+        os << " imm=" << i.imm;
+    if (i.bound)
+        os << " bound=" << i.bound;
+    if (i.loc.isValid())
+        os << "  #" << i.loc.line << "," << i.loc.offset;
+    os << "\n";
+}
+
+} // namespace
+
+std::string
+printModule(const Module &m)
+{
+    std::ostringstream os;
+    for (size_t gi = 0; gi < m.globals.size(); gi++) {
+        const GlobalObject &g = m.globals[gi];
+        os << "global #" << gi << " " << g.name << " size=" << g.size;
+        if (g.redzone)
+            os << " redzone=" << g.redzone;
+        os << "\n";
+    }
+    for (size_t fi = 0; fi < m.functions.size(); fi++) {
+        const Function &f = m.functions[fi];
+        os << "fn #" << fi << " " << f.name << " (params "
+           << f.numParams << ")\n";
+        for (size_t oi = 0; oi < f.frame.size(); oi++) {
+            const FrameObject &o = f.frame[oi];
+            os << "  obj#" << oi << " " << o.name << " size=" << o.size;
+            if (o.scoped)
+                os << " scoped";
+            if (o.redzone)
+                os << " redzone=" << o.redzone;
+            os << "\n";
+        }
+        for (const BasicBlock &bb : f.blocks) {
+            os << "  bb" << bb.id << ":\n";
+            for (const Inst &inst : bb.insts)
+                printInst(os, inst);
+        }
+    }
+    return os.str();
+}
+
+std::string
+verifyModule(const Module &m)
+{
+    for (size_t fi = 0; fi < m.functions.size(); fi++) {
+        const Function &f = m.functions[fi];
+        auto fail = [&](const std::string &why, const Inst *inst) {
+            std::string msg = "fn " + f.name + ": " + why;
+            if (inst)
+                msg += " (in " + std::string(opcodeName(inst->op)) + ")";
+            return msg;
+        };
+        if (f.blocks.empty())
+            return fail("no blocks", nullptr);
+        for (const BasicBlock &bb : f.blocks) {
+            if (bb.insts.empty())
+                return fail("empty block bb" + std::to_string(bb.id),
+                            nullptr);
+            for (size_t k = 0; k < bb.insts.size(); k++) {
+                const Inst &inst = bb.insts[k];
+                bool last = k + 1 == bb.insts.size();
+                if (inst.isTerminator() != last) {
+                    return fail(
+                        "terminator placement in bb" +
+                            std::to_string(bb.id),
+                        &inst);
+                }
+                for (int t = 0; t < 2; t++) {
+                    bool uses_target =
+                        (inst.op == Opcode::Br && t == 0) ||
+                        inst.op == Opcode::CondBr;
+                    if (uses_target &&
+                        inst.targets[t] >= f.blocks.size()) {
+                        return fail("branch target out of range", &inst);
+                    }
+                }
+                auto check_val = [&](const Value &v) {
+                    return !v.isReg() || v.reg < f.numRegs;
+                };
+                if (!check_val(inst.a) || !check_val(inst.b) ||
+                    !check_val(inst.c))
+                    return fail("register out of range", &inst);
+                if (inst.op == Opcode::Call &&
+                    inst.callee >= m.functions.size())
+                    return fail("callee out of range", &inst);
+                if ((inst.op == Opcode::FrameAddr ||
+                     inst.op == Opcode::LifetimeStart ||
+                     inst.op == Opcode::LifetimeEnd) &&
+                    inst.object >= f.frame.size())
+                    return fail("frame object out of range", &inst);
+                if (inst.op == Opcode::GlobalAddr &&
+                    inst.object >= m.globals.size())
+                    return fail("global out of range", &inst);
+            }
+        }
+        // Every used register must have a definition somewhere in the
+        // function. (Values may flow across blocks when an expression
+        // contains short-circuit or ternary sub-expressions, so the
+        // check is function-scoped, not block-scoped.)
+        std::unordered_set<uint32_t> defined;
+        for (const BasicBlock &bb : f.blocks)
+            for (const Inst &inst : bb.insts)
+                if (inst.dst)
+                    defined.insert(inst.dst);
+        for (const BasicBlock &bb : f.blocks) {
+            for (const Inst &inst : bb.insts) {
+                auto check_use = [&](const Value &v) {
+                    return !v.isReg() || defined.count(v.reg) > 0;
+                };
+                if (!check_use(inst.a) || !check_use(inst.b) ||
+                    !check_use(inst.c))
+                    return fail("use of undefined register in bb" +
+                                    std::to_string(bb.id),
+                                &inst);
+                for (const Value &arg : inst.args)
+                    if (!check_use(arg))
+                        return fail("use of undefined arg register",
+                                    &inst);
+            }
+        }
+    }
+    return {};
+}
+
+} // namespace ubfuzz::ir

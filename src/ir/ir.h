@@ -1,0 +1,292 @@
+/**
+ * @file
+ * The register IR of the simulated compilers.
+ *
+ * A "binary" in this repository is an ir::Module plus debug metadata:
+ * every instruction carries the (line, offset) of the source expression
+ * it was lowered from, which is what the VM's tracing (the "debugger")
+ * and the crash-site mapping oracle consume — the -g of our toolchain.
+ *
+ * Design notes:
+ *  - Registers are single-assignment by construction (lowering emits a
+ *    fresh register per value) and only used within the defining block;
+ *    values that cross control flow live in frame slots. This keeps
+ *    optimization passes honest without needing phi nodes.
+ *  - Sanitizer checks are explicit instructions inserted by the
+ *    sanitizer passes; the VM implements their runtime semantics
+ *    against shadow memory.
+ */
+
+#ifndef UBFUZZ_IR_IR_H
+#define UBFUZZ_IR_IR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "support/source_loc.h"
+
+namespace ubfuzz::ir {
+
+/** Value kinds reuse the AST scalar kinds; pointers are U64. */
+using ScalarKind = ast::ScalarKind;
+using BinOp = ast::BinaryOp;
+
+enum class Opcode : uint8_t {
+    Nop,
+    Const,         ///< dst = imm
+    Bin,           ///< dst = a <binOp> b, in `kind`
+    Cast,          ///< dst = convert a from a.kind to `kind`
+    Select,        ///< dst = a if cond(reg c) != 0 else b (no side effects)
+    FrameAddr,     ///< dst = address of frame object `object`
+    GlobalAddr,    ///< dst = address of global `object`
+    Gep,           ///< dst = a + b * imm(elemSize); `bound`>0 for arrays
+    Load,          ///< dst = *[a], `imm` bytes, result `kind`
+    Store,         ///< *[a] = b, `imm` bytes
+    MemCopy,       ///< copy `imm` bytes from [b] to [a]
+    Br,            ///< goto targets[0]
+    CondBr,        ///< if a != 0 goto targets[0] else targets[1]
+    Ret,           ///< return a (optional)
+    Call,          ///< dst = call functions[callee](args)
+    Malloc,        ///< dst = __malloc(a)
+    Free,          ///< __free(a)
+    Checksum,      ///< fold a into the program checksum
+    LogVal,        ///< profiling: record value b for site a
+    LogPtr,        ///< profiling: record pointer b for site a
+    LogBuf,        ///< profiling: record buffer [b, b+c) for site a
+    LogScopeEnter, ///< profiling: scope a entered
+    LogScopeExit,  ///< profiling: scope a exited
+    LifetimeStart, ///< frame object `object` enters scope
+    LifetimeEnd,   ///< frame object `object` leaves scope
+    // --- sanitizer instructions (inserted by sanitizer passes) ---
+    AsanCheck,     ///< shadow-check [a, a+imm); isWrite in flag
+    UbsanArith,    ///< signed-overflow check of a <binOp> b in `kind`
+    UbsanShift,    ///< shift-amount check of b for width of `kind`
+    UbsanDiv,      ///< division check of a / b in `kind`
+    UbsanNull,     ///< null-pointer check of a
+    UbsanBounds,   ///< array-bounds check: 0 <= a < imm
+    MsanCheck,     ///< uninitialized-value check of a
+};
+
+const char *opcodeName(Opcode op);
+
+/** An operand: a register or an immediate. */
+struct Value
+{
+    enum class Tag : uint8_t { None, Reg, Imm };
+    Tag tag = Tag::None;
+    uint32_t reg = 0;
+    uint64_t imm = 0;
+
+    static Value
+    makeReg(uint32_t r)
+    {
+        Value v;
+        v.tag = Tag::Reg;
+        v.reg = r;
+        return v;
+    }
+
+    static Value
+    makeImm(uint64_t i)
+    {
+        Value v;
+        v.tag = Tag::Imm;
+        v.imm = i;
+        return v;
+    }
+
+    bool isReg() const { return tag == Tag::Reg; }
+    bool isImm() const { return tag == Tag::Imm; }
+    bool isNone() const { return tag == Tag::None; }
+
+    friend bool
+    operator==(const Value &x, const Value &y)
+    {
+        if (x.tag != y.tag)
+            return false;
+        if (x.tag == Tag::Reg)
+            return x.reg == y.reg;
+        if (x.tag == Tag::Imm)
+            return x.imm == y.imm;
+        return true;
+    }
+};
+
+/** One IR instruction. A deliberately fat struct: simplicity first. */
+struct Inst
+{
+    Opcode op = Opcode::Nop;
+    /** Operation / result kind (value width + signedness). */
+    ScalarKind kind = ScalarKind::S64;
+    /** Destination register; 0 means "no result". */
+    uint32_t dst = 0;
+    BinOp binOp = BinOp::Add;
+    Value a, b, c;
+    /** Size / constant / elem-size / bound, depending on opcode. */
+    uint64_t imm = 0;
+    /** Branch targets (block ids). */
+    uint32_t targets[2] = {0, 0};
+    /** Callee function index for Call. */
+    uint32_t callee = 0;
+    /** Frame/global object index. */
+    uint32_t object = 0;
+    /** AsanCheck: is this a write access? */
+    bool flag = false;
+    /** Static array bound for Gep from a direct array subscript. */
+    uint64_t bound = 0;
+    std::vector<Value> args;
+    /** Debug metadata: source (line, offset). */
+    SourceLoc loc;
+
+    bool
+    isTerminator() const
+    {
+        return op == Opcode::Br || op == Opcode::CondBr ||
+               op == Opcode::Ret;
+    }
+
+    /** Does executing this instruction write memory? */
+    bool
+    writesMemory() const
+    {
+        return op == Opcode::Store || op == Opcode::MemCopy ||
+               op == Opcode::Call || op == Opcode::Malloc ||
+               op == Opcode::Free;
+    }
+
+    /** Is this a sanitizer check or poison-management instruction? */
+    bool
+    isSanitizerOp() const
+    {
+        return op >= Opcode::AsanCheck && op <= Opcode::MsanCheck;
+    }
+};
+
+struct BasicBlock
+{
+    uint32_t id = 0;
+    std::vector<Inst> insts;
+};
+
+/** A stack-allocated object of one function frame. */
+struct FrameObject
+{
+    std::string name;
+    uint64_t size = 0;
+    uint32_t align = 8;
+    /** Scoped objects get lifetime markers (use-after-scope support). */
+    bool scoped = false;
+    /** Redzone width applied by ASan; 0 when not instrumented. */
+    uint32_t redzone = 0;
+    /** The AST VarDecl node id this object was lowered from (0: temp). */
+    uint32_t declId = 0;
+};
+
+/** A module-level global with initial bytes and relocations. */
+struct GlobalObject
+{
+    std::string name;
+    uint64_t size = 0;
+    uint32_t align = 8;
+    std::vector<uint8_t> init; ///< sized to `size`; zero-filled default
+    struct Reloc
+    {
+        uint64_t offset;      ///< where in this global to patch
+        uint32_t targetIndex; ///< which global's address to write
+        int64_t addend;
+    };
+    std::vector<Reloc> relocs;
+    /** Redzone width applied by ASan for globals; 0 = none. */
+    uint32_t redzone = 0;
+    /**
+     * Bug-injection support (Wrong Red-Zone Buffer): number of leading
+     * right-redzone bytes the (buggy) ASan pass fails to poison.
+     */
+    uint32_t poisonSkip = 0;
+    uint32_t declId = 0;
+};
+
+struct Function
+{
+    std::string name;
+    ScalarKind retKind = ScalarKind::Void;
+    /** Parameter count; parameters are frame objects [0, numParams). */
+    uint32_t numParams = 0;
+    std::vector<FrameObject> frame;
+    std::vector<BasicBlock> blocks;
+    uint32_t numRegs = 1; ///< register ids are 1..numRegs-1 (0 invalid)
+
+    uint32_t
+    newReg()
+    {
+        return numRegs++;
+    }
+};
+
+/**
+ * MSan shadow-propagation policy. The MSan *pass* decides these (with
+ * bug hooks); the VM merely obeys. Mirrors how real MSan compiles its
+ * propagation logic into the binary.
+ */
+struct MsanPolicy
+{
+    bool enabled = false;
+    /**
+     * Figure 12f bug: treat `x - const` as fully defined even when x is
+     * uninitialized.
+     */
+    bool bugSubConstDefined = false;
+    /** Variant: bitwise AND always yields defined values. */
+    bool bugAndDefined = false;
+};
+
+struct Module
+{
+    std::vector<GlobalObject> globals;
+    std::vector<Function> functions;
+    int32_t mainIndex = -1;
+    /** ASan redzones for globals are applied at load when true. */
+    bool asanGlobals = false;
+    /** ASan redzones + poisoning for heap allocations when true. */
+    bool asanHeap = false;
+    MsanPolicy msan;
+
+    Function *
+    findFunction(const std::string &name)
+    {
+        for (auto &f : functions)
+            if (f.name == name)
+                return &f;
+        return nullptr;
+    }
+};
+
+/** Canonical 64-bit representation of a value of kind @p k
+ *  (truncate to the kind's width, then sign- or zero-extend). */
+uint64_t canonicalValue(uint64_t raw, ScalarKind k);
+
+/**
+ * Evaluate a binary operation on canonical values with the exact
+ * semantics the VM uses (wrapping arithmetic, x86-style shift-count
+ * masking). Sets @p trapped for division by zero and INT_MIN / -1
+ * instead of producing a value. Shared by the VM and constant folding
+ * so they can never disagree.
+ */
+uint64_t evalBinary(BinOp op, ScalarKind k, uint64_t a, uint64_t b,
+                    bool &trapped);
+
+/** Render the module as text (for tests and debugging). */
+std::string printModule(const Module &m);
+
+/**
+ * Structural sanity check (register def-before-use inside blocks,
+ * terminators present, branch targets valid). @return empty string when
+ * the module is well-formed, else a description of the first problem.
+ */
+std::string verifyModule(const Module &m);
+
+} // namespace ubfuzz::ir
+
+#endif // UBFUZZ_IR_IR_H

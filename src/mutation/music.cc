@@ -1,0 +1,221 @@
+#include "mutation/music.h"
+
+#include <vector>
+
+#include "ast/clone.h"
+#include "ast/typing.h"
+
+namespace ubfuzz::mutation {
+
+using namespace ast;
+
+namespace {
+
+/** A mutation opportunity discovered in the cloned program. */
+struct Opportunity
+{
+    enum class Kind { ArithOp, RelOp, LogicOp, BitOp, Constant,
+                      DeleteStmt, NegateCond } kind;
+    Binary *binary = nullptr;
+    IntLit *lit = nullptr;
+    Block *block = nullptr;
+    size_t stmtIndex = 0;
+    IfStmt *ifStmt = nullptr;
+    WhileStmt *whileStmt = nullptr;
+};
+
+class Collector
+{
+  public:
+    explicit Collector(std::vector<Opportunity> &out) : out_(out) {}
+
+    void
+    run(Program &p)
+    {
+        for (FunctionDecl *f : p.functions())
+            if (f->body())
+                walkBlock(f->body());
+    }
+
+  private:
+    std::vector<Opportunity> &out_;
+
+    void
+    walkBlock(Block *b)
+    {
+        for (size_t i = 0; i < b->stmts().size(); i++) {
+            Stmt *s = b->stmts()[i];
+            // SDL: deletable statements (declarations stay: deleting
+            // one would leave dangling references, i.e. an invalid —
+            // not merely UB — program, which MUSIC never emits).
+            if (s->kind() != NodeKind::DeclStmt &&
+                s->kind() != NodeKind::ReturnStmt) {
+                Opportunity op;
+                op.kind = Opportunity::Kind::DeleteStmt;
+                op.block = b;
+                op.stmtIndex = i;
+                out_.push_back(op);
+            }
+            walkStmt(s);
+        }
+    }
+
+    void
+    walkStmt(Stmt *s)
+    {
+        switch (s->kind()) {
+          case NodeKind::DeclStmt:
+            if (s->as<DeclStmt>()->var()->init())
+                walkExpr(s->as<DeclStmt>()->var()->init());
+            break;
+          case NodeKind::AssignStmt:
+            walkExpr(s->as<AssignStmt>()->lhs());
+            walkExpr(s->as<AssignStmt>()->rhs());
+            break;
+          case NodeKind::ExprStmt:
+            walkExpr(s->as<ExprStmt>()->expr());
+            break;
+          case NodeKind::IfStmt: {
+            auto *i = s->as<IfStmt>();
+            Opportunity op;
+            op.kind = Opportunity::Kind::NegateCond;
+            op.ifStmt = i;
+            out_.push_back(op);
+            walkExpr(i->cond());
+            walkBlock(i->thenBlock());
+            if (i->elseBlock())
+                walkBlock(i->elseBlock());
+            break;
+          }
+          case NodeKind::WhileStmt: {
+            auto *w = s->as<WhileStmt>();
+            walkExpr(w->cond());
+            walkBlock(w->body());
+            break;
+          }
+          case NodeKind::ForStmt: {
+            auto *f = s->as<ForStmt>();
+            if (f->init())
+                walkStmt(f->init());
+            if (f->cond())
+                walkExpr(f->cond());
+            if (f->step())
+                walkStmt(f->step());
+            walkBlock(f->body());
+            break;
+          }
+          case NodeKind::Block:
+            walkBlock(s->as<Block>());
+            break;
+          case NodeKind::ReturnStmt:
+            if (s->as<ReturnStmt>()->value())
+                walkExpr(s->as<ReturnStmt>()->value());
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    walkExpr(Expr *e)
+    {
+        if (auto *b = e->dynCast<Binary>()) {
+            bool int_operands = b->lhs()->type()->isInteger() &&
+                                b->rhs()->type()->isInteger();
+            Opportunity op;
+            op.binary = b;
+            if (isComparisonOp(b->op()) && int_operands) {
+                op.kind = Opportunity::Kind::RelOp;
+                out_.push_back(op);
+            } else if ((isArithOp(b->op()) || isDivRemOp(b->op())) &&
+                       int_operands) {
+                op.kind = Opportunity::Kind::ArithOp;
+                out_.push_back(op);
+            } else if (isLogicalOp(b->op())) {
+                op.kind = Opportunity::Kind::LogicOp;
+                out_.push_back(op);
+            } else if (b->op() == BinaryOp::BitAnd ||
+                       b->op() == BinaryOp::BitOr) {
+                op.kind = Opportunity::Kind::BitOp;
+                out_.push_back(op);
+            }
+        }
+        if (auto *l = e->dynCast<IntLit>()) {
+            Opportunity op;
+            op.kind = Opportunity::Kind::Constant;
+            op.lit = l;
+            out_.push_back(op);
+        }
+        forEachChildExpr(e, [&](Expr *c) { walkExpr(c); });
+    }
+};
+
+} // namespace
+
+std::unique_ptr<ast::Program>
+musicMutate(const Program &seed, Rng &rng)
+{
+    ClonedProgram clone = cloneProgram(seed);
+    Program &p = *clone.program;
+    ExprBuilder eb(p);
+
+    std::vector<Opportunity> ops;
+    Collector(ops).run(p);
+    if (ops.empty())
+        return nullptr;
+    const Opportunity &op = ops[rng.index(ops)];
+
+    switch (op.kind) {
+      case Opportunity::Kind::ArithOp: {
+        BinaryOp cur = op.binary->op();
+        BinaryOp next;
+        do {
+            next = rng.pick({BinaryOp::Add, BinaryOp::Sub,
+                             BinaryOp::Mul, BinaryOp::Div,
+                             BinaryOp::Rem});
+        } while (next == cur);
+        op.binary->setOp(next);
+        break;
+      }
+      case Opportunity::Kind::RelOp: {
+        BinaryOp cur = op.binary->op();
+        BinaryOp next;
+        do {
+            next = rng.pick({BinaryOp::Lt, BinaryOp::Le, BinaryOp::Gt,
+                             BinaryOp::Ge, BinaryOp::Eq, BinaryOp::Ne});
+        } while (next == cur);
+        op.binary->setOp(next);
+        break;
+      }
+      case Opportunity::Kind::LogicOp:
+        op.binary->setOp(op.binary->op() == BinaryOp::LAnd
+                             ? BinaryOp::LOr
+                             : BinaryOp::LAnd);
+        break;
+      case Opportunity::Kind::BitOp:
+        op.binary->setOp(op.binary->op() == BinaryOp::BitAnd
+                             ? BinaryOp::BitOr
+                             : BinaryOp::BitAnd);
+        break;
+      case Opportunity::Kind::Constant: {
+        // CRCR: replace the constant with 0, 1, -c, c+1 or c-1.
+        int64_t c = op.lit->signedValue();
+        int64_t repl = rng.pick<int64_t>({0, 1, -c, c + 1, c - 1});
+        if (repl == c)
+            repl = c + 1;
+        op.lit->setValue(static_cast<uint64_t>(repl));
+        break;
+      }
+      case Opportunity::Kind::DeleteStmt:
+        op.block->stmts().erase(op.block->stmts().begin() +
+                                op.stmtIndex);
+        break;
+      case Opportunity::Kind::NegateCond:
+        op.ifStmt->setCond(
+            eb.unary(UnaryOp::LogNot, op.ifStmt->cond()));
+        break;
+    }
+    return std::move(clone.program);
+}
+
+} // namespace ubfuzz::mutation

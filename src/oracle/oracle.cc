@@ -1,0 +1,89 @@
+#include "oracle/oracle.h"
+
+namespace ubfuzz::oracle {
+
+bool
+crashSiteMapping(SourceLoc crashSite,
+                 const std::vector<SourceLoc> &nonCrashingTrace)
+{
+    for (const SourceLoc &loc : nonCrashingTrace)
+        if (loc == crashSite)
+            return true;
+    return false;
+}
+
+DifferentialResult
+runDifferential(const ast::Program &program,
+                const ast::PrintedProgram &printed,
+                const std::vector<compiler::CompilerConfig> &configs,
+                uint64_t stepLimit)
+{
+    DifferentialResult result;
+    result.outcomes.reserve(configs.size());
+    for (const compiler::CompilerConfig &cfg : configs) {
+        compiler::Binary binary =
+            compiler::compile(program, printed, cfg);
+        vm::ExecOptions opts;
+        opts.stepLimit = stepLimit;
+        ConfigOutcome outcome;
+        outcome.config = cfg;
+        outcome.log = std::move(binary.log);
+        outcome.result = vm::execute(binary.module, opts);
+        result.outcomes.push_back(std::move(outcome));
+    }
+
+    // Find discrepant pairs: some binary reports, another does not.
+    std::vector<size_t> crashing, silent;
+    for (size_t i = 0; i < result.outcomes.size(); i++) {
+        const vm::ExecResult &r = result.outcomes[i].result;
+        if (r.crashed())
+            crashing.push_back(i);
+        else if (r.kind != vm::ExecResult::Kind::Timeout)
+            silent.push_back(i);
+    }
+    if (crashing.empty() || silent.empty())
+        return result;
+
+    // Trace each silent binary once (the debugger run).
+    std::vector<std::vector<SourceLoc>> traces(silent.size());
+    for (size_t k = 0; k < silent.size(); k++) {
+        compiler::Binary binary = compiler::compile(
+            program, printed, result.outcomes[silent[k]].config);
+        vm::ExecOptions opts;
+        opts.stepLimit = stepLimit;
+        opts.recordTrace = true;
+        traces[k] = vm::execute(binary.module, opts).trace;
+    }
+
+    for (size_t ci : crashing) {
+        SourceLoc site = result.outcomes[ci].result.crashSite();
+        for (size_t k = 0; k < silent.size(); k++) {
+            DiscrepancyVerdict v;
+            v.crashingIdx = ci;
+            v.nonCrashingIdx = silent[k];
+            v.isBug = crashSiteMapping(site, traces[k]);
+            result.verdicts.push_back(v);
+        }
+    }
+    return result;
+}
+
+std::vector<compiler::CompilerConfig>
+testingMatrix(SanitizerKind sanitizer)
+{
+    std::vector<compiler::CompilerConfig> configs;
+    for (Vendor v : {Vendor::GCC, Vendor::LLVM}) {
+        if (!vendorSupports(v, sanitizer))
+            continue;
+        for (OptLevel l : kAllOptLevels) {
+            compiler::CompilerConfig c;
+            c.vendor = v;
+            c.level = l;
+            c.sanitizer = sanitizer;
+            configs.push_back(c);
+        }
+    }
+    return configs;
+}
+
+} // namespace ubfuzz::oracle

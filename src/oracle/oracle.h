@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The crash-site mapping test oracle (Algorithm 2) and the
+ * differential test runner around it.
+ *
+ * Given a UB program compiled by a matrix of compiler configurations
+ * with the same sanitizer, a *discrepancy* is a pair (b_c, b_n) where
+ * b_c produces a sanitizer report and b_n does not. The discrepancy is
+ * attributed to a sanitizer FN bug iff the crash site of b_c — the
+ * (line, offset) of its last executed instruction — is also executed
+ * by b_n (the compiler did not optimize the UB away).
+ */
+
+#ifndef UBFUZZ_ORACLE_ORACLE_H
+#define UBFUZZ_ORACLE_ORACLE_H
+
+#include <optional>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "vm/vm.h"
+
+namespace ubfuzz::oracle {
+
+/**
+ * Algorithm 2 (IsBug): does the non-crashing execution pass through
+ * the crashing execution's crash site?
+ *
+ * @param crashSite   the crash site of b_c (Definition 2)
+ * @param nonCrashingTrace  all executed sites of b_n (GetExecutedSites)
+ */
+bool crashSiteMapping(SourceLoc crashSite,
+                      const std::vector<SourceLoc> &nonCrashingTrace);
+
+/** One compiled-and-executed configuration of the program under test. */
+struct ConfigOutcome
+{
+    compiler::CompilerConfig config;
+    san::CompileLog log;
+    vm::ExecResult result;
+};
+
+/** A (crashing, non-crashing) pair with the oracle verdict. */
+struct DiscrepancyVerdict
+{
+    size_t crashingIdx = 0;
+    size_t nonCrashingIdx = 0;
+    /** Crash-site mapping said the discrepancy is a sanitizer FN bug. */
+    bool isBug = false;
+};
+
+struct DifferentialResult
+{
+    std::vector<ConfigOutcome> outcomes;
+    /** Every (crash, no-crash) pair with its oracle verdict. */
+    std::vector<DiscrepancyVerdict> verdicts;
+
+    bool hasDiscrepancy() const { return !verdicts.empty(); }
+
+    bool
+    anyBugVerdict() const
+    {
+        for (const auto &v : verdicts)
+            if (v.isBug)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Compile @p program under every configuration, execute, and apply
+ * crash-site mapping to every discrepant pair. Non-crashing binaries
+ * of discrepant pairs are re-executed with tracing enabled (the
+ * "debugger" pass of §3.3).
+ */
+DifferentialResult
+runDifferential(const ast::Program &program,
+                const ast::PrintedProgram &printed,
+                const std::vector<compiler::CompilerConfig> &configs,
+                uint64_t stepLimit = 2'000'000);
+
+/** The paper's testing matrix: both vendors (where the sanitizer is
+ *  supported) at -O0/-O1/-Os/-O2/-O3 (§4.1). */
+std::vector<compiler::CompilerConfig>
+testingMatrix(SanitizerKind sanitizer);
+
+} // namespace ubfuzz::oracle
+
+#endif // UBFUZZ_ORACLE_ORACLE_H

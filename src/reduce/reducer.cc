@@ -1,0 +1,210 @@
+#include "reduce/reducer.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "ast/clone.h"
+#include "support/diagnostics.h"
+
+namespace ubfuzz::reduce {
+
+using namespace ast;
+
+namespace {
+
+/** Enumerate (blockId, index) of every deletable statement. */
+void
+collectStmtSlots(const Block *b,
+                 std::vector<std::pair<uint32_t, size_t>> &out)
+{
+    for (size_t i = 0; i < b->stmts().size(); i++) {
+        const Stmt *s = b->stmts()[i];
+        if (s->kind() != NodeKind::ReturnStmt)
+            out.emplace_back(b->nodeId(), i);
+        switch (s->kind()) {
+          case NodeKind::IfStmt:
+            collectStmtSlots(s->as<IfStmt>()->thenBlock(), out);
+            if (s->as<IfStmt>()->elseBlock())
+                collectStmtSlots(s->as<IfStmt>()->elseBlock(), out);
+            break;
+          case NodeKind::WhileStmt:
+            collectStmtSlots(s->as<WhileStmt>()->body(), out);
+            break;
+          case NodeKind::ForStmt:
+            collectStmtSlots(s->as<ForStmt>()->body(), out);
+            break;
+          case NodeKind::Block:
+            collectStmtSlots(s->as<Block>(), out);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+/** All declaration node-ids referenced anywhere in the program. */
+void
+collectRefs(const Expr *e, std::unordered_set<uint32_t> &refs)
+{
+    if (auto *vr = e->dynCast<VarRef>())
+        refs.insert(vr->decl()->nodeId());
+    if (auto *c = e->dynCast<Call>())
+        refs.insert(c->callee()->nodeId());
+    forEachChildExpr(const_cast<Expr *>(e), [&](Expr *child) {
+        collectRefs(child, refs);
+    });
+}
+
+void
+collectRefsStmt(const Stmt *s, std::unordered_set<uint32_t> &refs)
+{
+    switch (s->kind()) {
+      case NodeKind::DeclStmt:
+        if (s->as<DeclStmt>()->var()->init())
+            collectRefs(s->as<DeclStmt>()->var()->init(), refs);
+        break;
+      case NodeKind::AssignStmt:
+        collectRefs(s->as<AssignStmt>()->lhs(), refs);
+        collectRefs(s->as<AssignStmt>()->rhs(), refs);
+        break;
+      case NodeKind::ExprStmt:
+        collectRefs(s->as<ExprStmt>()->expr(), refs);
+        break;
+      case NodeKind::IfStmt: {
+        auto *i = s->as<IfStmt>();
+        collectRefs(i->cond(), refs);
+        for (const Stmt *c : i->thenBlock()->stmts())
+            collectRefsStmt(c, refs);
+        if (i->elseBlock())
+            for (const Stmt *c : i->elseBlock()->stmts())
+                collectRefsStmt(c, refs);
+        break;
+      }
+      case NodeKind::WhileStmt:
+        collectRefs(s->as<WhileStmt>()->cond(), refs);
+        for (const Stmt *c : s->as<WhileStmt>()->body()->stmts())
+            collectRefsStmt(c, refs);
+        break;
+      case NodeKind::ForStmt: {
+        auto *f = s->as<ForStmt>();
+        if (f->init())
+            collectRefsStmt(f->init(), refs);
+        if (f->cond())
+            collectRefs(f->cond(), refs);
+        if (f->step())
+            collectRefsStmt(f->step(), refs);
+        for (const Stmt *c : f->body()->stmts())
+            collectRefsStmt(c, refs);
+        break;
+      }
+      case NodeKind::Block:
+        for (const Stmt *c : s->as<Block>()->stmts())
+            collectRefsStmt(c, refs);
+        break;
+      case NodeKind::ReturnStmt:
+        if (s->as<ReturnStmt>()->value())
+            collectRefs(s->as<ReturnStmt>()->value(), refs);
+        break;
+      default:
+        break;
+    }
+}
+
+std::unordered_set<uint32_t>
+allReferences(const Program &p)
+{
+    std::unordered_set<uint32_t> refs;
+    for (const VarDecl *g : p.globals())
+        if (g->init())
+            collectRefs(g->init(), refs);
+    for (const FunctionDecl *f : p.functions())
+        if (f->body())
+            for (const Stmt *s : f->body()->stmts())
+                collectRefsStmt(s, refs);
+    return refs;
+}
+
+} // namespace
+
+std::unique_ptr<ast::Program>
+reduceProgram(const Program &input, const Predicate &interesting,
+              ReduceStats *stats)
+{
+    ReduceStats local;
+    ReduceStats &st = stats ? *stats : local;
+
+    ClonedProgram current = cloneProgram(input);
+    bool progress = true;
+    while (progress) {
+        progress = false;
+
+        // Statement deletion, one at a time.
+        std::vector<std::pair<uint32_t, size_t>> slots;
+        for (const FunctionDecl *f : current.program->functions())
+            if (f->body())
+                collectStmtSlots(f->body(), slots);
+        for (const auto &[blockId, index] : slots) {
+            ClonedProgram trial = cloneProgram(*current.program);
+            Node *n = trial.find(blockId);
+            if (!n)
+                continue;
+            Block *b = n->as<Block>();
+            if (index >= b->stmts().size())
+                continue;
+            // Deleting a declaration would orphan its references;
+            // only try it when nothing else refers to the variable.
+            if (auto *d = b->stmts()[index]->dynCast<DeclStmt>()) {
+                auto refs = allReferences(*trial.program);
+                if (refs.count(d->var()->nodeId()))
+                    continue;
+            }
+            b->stmts().erase(b->stmts().begin() + index);
+            st.predicateRuns++;
+            if (interesting(*trial.program)) {
+                current = cloneProgram(*trial.program);
+                st.statementsRemoved++;
+                progress = true;
+                break; // re-enumerate slots on the new program
+            }
+        }
+        if (progress)
+            continue;
+
+        // Dead globals and uncalled functions.
+        auto refs = allReferences(*current.program);
+        {
+            ClonedProgram trial = cloneProgram(*current.program);
+            auto &globals = trial.program->globals();
+            size_t before = globals.size();
+            globals.erase(
+                std::remove_if(globals.begin(), globals.end(),
+                               [&](VarDecl *g) {
+                                   return refs.count(g->nodeId()) == 0;
+                               }),
+                globals.end());
+            auto &fns = trial.program->functions();
+            size_t fn_before = fns.size();
+            fns.erase(std::remove_if(
+                          fns.begin(), fns.end(),
+                          [&](FunctionDecl *f) {
+                              return f != trial.program->main() &&
+                                     refs.count(f->nodeId()) == 0;
+                          }),
+                      fns.end());
+            if (globals.size() < before || fns.size() < fn_before) {
+                st.predicateRuns++;
+                if (interesting(*trial.program)) {
+                    st.globalsRemoved +=
+                        static_cast<int>(before - globals.size());
+                    st.functionsRemoved +=
+                        static_cast<int>(fn_before - fns.size());
+                    current = cloneProgram(*trial.program);
+                    progress = true;
+                }
+            }
+        }
+    }
+    return std::move(current.program);
+}
+
+} // namespace ubfuzz::reduce

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Test-case reducer (the repository's C-Reduce, §4.1): shrink a
+ * program while an interestingness predicate keeps holding, by
+ * fixpoint statement deletion and dead top-level pruning.
+ */
+
+#ifndef UBFUZZ_REDUCE_REDUCER_H
+#define UBFUZZ_REDUCE_REDUCER_H
+
+#include <functional>
+#include <memory>
+
+#include "ast/ast.h"
+
+namespace ubfuzz::reduce {
+
+/** Returns true when the candidate still exhibits the behaviour of
+ *  interest (e.g. "this sanitizer FN finding persists"). */
+using Predicate = std::function<bool(const ast::Program &)>;
+
+struct ReduceStats
+{
+    int statementsRemoved = 0;
+    int globalsRemoved = 0;
+    int functionsRemoved = 0;
+    int predicateRuns = 0;
+};
+
+/**
+ * Greedy fixpoint reduction. @p interesting must hold for @p input.
+ * @return the reduced program (at worst a copy of the input).
+ */
+std::unique_ptr<ast::Program> reduceProgram(const ast::Program &input,
+                                            const Predicate &interesting,
+                                            ReduceStats *stats = nullptr);
+
+} // namespace ubfuzz::reduce
+
+#endif // UBFUZZ_REDUCE_REDUCER_H

@@ -1,0 +1,340 @@
+#include "sanitizer/sanitizer.h"
+
+#include <unordered_set>
+
+#include "sanitizer/pass_util.h"
+#include "support/coverage.h"
+
+namespace ubfuzz::san {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Inst;
+using ir::Module;
+using ir::Opcode;
+using ir::Value;
+
+// Coverage sites, one per vendor so Table 5 can slice per compiler.
+static ubfuzz::CovSite covRun[2] = {
+    {"gcc.asan.run", CovKind::Function},
+    {"llvm.asan.run", CovKind::Function}};
+static ubfuzz::CovSite covLoad[2] = {
+    {"gcc.asan.instrument_load", CovKind::Line},
+    {"llvm.asan.instrument_load", CovKind::Line}};
+static ubfuzz::CovSite covStore[2] = {
+    {"gcc.asan.instrument_store", CovKind::Line},
+    {"llvm.asan.instrument_store", CovKind::Line}};
+static ubfuzz::CovSite covMemCopy[2] = {
+    {"gcc.asan.instrument_memcopy", CovKind::Line},
+    {"llvm.asan.instrument_memcopy", CovKind::Line}};
+static ubfuzz::CovSite covWide[2] = {
+    {"gcc.asan.wide_access", CovKind::Branch},
+    {"llvm.asan.wide_access", CovKind::Branch}};
+static ubfuzz::CovSite covStackRz[2] = {
+    {"gcc.asan.stack_redzone", CovKind::Line},
+    {"llvm.asan.stack_redzone", CovKind::Line}};
+static ubfuzz::CovSite covGlobalRz[2] = {
+    {"gcc.asan.global_redzone", CovKind::Line},
+    {"llvm.asan.global_redzone", CovKind::Line}};
+static ubfuzz::CovSite covScope[2] = {
+    {"gcc.asan.scope_poison", CovKind::Branch},
+    {"llvm.asan.scope_poison", CovKind::Branch}};
+static ubfuzz::CovSite covDirectSkip[2] = {
+    {"gcc.asan.direct_access_skip", CovKind::Branch},
+    {"llvm.asan.direct_access_skip", CovKind::Branch}};
+
+namespace {
+
+/**
+ * Frame objects whose address is stored into a *global* (directly or
+ * through a global pointer). Used by the LlvmAsanEscapedScopeNoPoison
+ * defect: the buggy escape analysis concludes that locals escaping
+ * into global state need no scope poisoning.
+ */
+std::vector<bool>
+escapedFrameObjects(const Function &f)
+{
+    std::vector<bool> escaped(f.frame.size(), false);
+    for (const BasicBlock &bb : f.blocks) {
+        std::unordered_map<uint32_t, uint32_t> root;
+        std::unordered_set<uint32_t> globalAddrs;
+        auto rootOf = [&](const Value &v) -> int64_t {
+            if (!v.isReg())
+                return -1;
+            auto it = root.find(v.reg);
+            return it == root.end() ? int64_t{-1}
+                                    : static_cast<int64_t>(it->second);
+        };
+        for (const Inst &inst : bb.insts) {
+            switch (inst.op) {
+              case Opcode::FrameAddr:
+                root[inst.dst] = inst.object;
+                break;
+              case Opcode::GlobalAddr:
+                globalAddrs.insert(inst.dst);
+                break;
+              case Opcode::Gep:
+              case Opcode::Cast:
+                if (int64_t r = rootOf(inst.a); r >= 0)
+                    root[inst.dst] = static_cast<uint32_t>(r);
+                if (inst.a.isReg() && globalAddrs.count(inst.a.reg))
+                    globalAddrs.insert(inst.dst);
+                break;
+              case Opcode::Store:
+                if (int64_t r = rootOf(inst.b); r >= 0) {
+                    bool dest_global =
+                        inst.a.isReg() && globalAddrs.count(inst.a.reg);
+                    if (dest_global)
+                        escaped[static_cast<size_t>(r)] = true;
+                }
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    return escaped;
+}
+
+} // namespace
+
+void
+runAsanPass(Module &m, const SanitizerContext &ctx)
+{
+    int vi = ctx.bugs.vendor() == Vendor::LLVM ? 1 : 0;
+    covRun[vi].hit();
+
+    // Global redzones (poisoned at module load by the VM runtime).
+    for (ir::GlobalObject &g : m.globals) {
+        covGlobalRz[vi].hit();
+        g.redzone = 32;
+        if (ctx.bugs.active(BugId::LlvmAsanGlobalSmallArrayRedzoneSkip) &&
+            g.size <= 32) {
+            // Figure 12d: the first redzone bytes past small global
+            // arrays are wrongly treated as valid padding.
+            g.poisonSkip = 8;
+            ctx.fire(BugId::LlvmAsanGlobalSmallArrayRedzoneSkip);
+        }
+    }
+    m.asanGlobals = true;
+    m.asanHeap = true;
+
+    for (Function &f : m.functions) {
+        // Stack redzones for source-level objects (compiler temps stay
+        // plain, like spill slots in real ASan).
+        for (ir::FrameObject &obj : f.frame) {
+            if (!obj.declId)
+                continue;
+            covStackRz[vi].hit();
+            obj.redzone = 32;
+            if (ctx.bugs.active(
+                    BugId::GccAsanStackRedzoneMultiple32) &&
+                obj.size >= 16 && obj.size % 16 == 0) {
+                obj.redzone = 8;
+                ctx.fire(BugId::GccAsanStackRedzoneMultiple32);
+            }
+        }
+
+        std::vector<bool> cyclic = cyclicBlocks(f);
+        std::vector<bool> escaped = escapedFrameObjects(f);
+
+        for (BasicBlock &bb : f.blocks) {
+            DefMap defs;
+            // Frame objects already store-checked in this block (for
+            // the adjacent-store bug).
+            std::unordered_set<uint32_t> checkedStoreObjects;
+            std::vector<Inst> out;
+            out.reserve(bb.insts.size() * 2);
+            SourceLoc block_first_loc =
+                bb.insts.empty() ? SourceLoc{} : bb.insts.front().loc;
+
+            auto emitCheck = [&](Value addr, uint64_t size, bool write,
+                                 SourceLoc loc) {
+                Inst chk;
+                chk.op = Opcode::AsanCheck;
+                chk.a = addr;
+                chk.imm = size;
+                chk.flag = write;
+                chk.loc = loc;
+                out.push_back(chk);
+            };
+
+            for (const Inst &inst : bb.insts) {
+                switch (inst.op) {
+                  case Opcode::Load: {
+                    covLoad[vi].hit();
+                    covWide[vi].branch(inst.imm >= 8);
+                    const Inst *root = addressRoot(defs, inst.a);
+                    bool direct_scalar =
+                        root &&
+                        (root->op == Opcode::FrameAddr ||
+                         root->op == Opcode::GlobalAddr) &&
+                        defs.def(inst.a) == root;
+                    covDirectSkip[vi].branch(direct_scalar);
+                    if (direct_scalar)
+                        break; // provably in-bounds direct slot access
+                    const Inst *adef = defs.def(inst.a);
+                    if (ctx.bugs.active(
+                            BugId::LlvmAsanParamPtrGepLoadNoCheck) &&
+                        adef && adef->op == Opcode::Gep &&
+                        adef->b.isReg()) {
+                        const Inst *base = defs.def(adef->a);
+                        const Inst *baseaddr =
+                            base && base->op == Opcode::Load
+                                ? defs.def(base->a)
+                                : nullptr;
+                        if (baseaddr &&
+                            baseaddr->op == Opcode::FrameAddr &&
+                            baseaddr->object < f.numParams) {
+                            ctx.fire(
+                                BugId::LlvmAsanParamPtrGepLoadNoCheck,
+                                inst.loc);
+                            break;
+                        }
+                    }
+                    uint64_t size = inst.imm;
+                    Value addr = inst.a;
+                    if (ctx.bugs.active(
+                            BugId::GccAsanWideLoadCheckSkipped) &&
+                        size == 8) {
+                        // Zero-width shadow check: never fires.
+                        size = 0;
+                        ctx.fire(BugId::GccAsanWideLoadCheckSkipped,
+                                 inst.loc);
+                    }
+                    if (ctx.bugs.active(
+                            BugId::LlvmAsanCharPtrBaseChecked) &&
+                        inst.imm == 1 && adef &&
+                        adef->op == Opcode::Gep && adef->b.isReg()) {
+                        addr = adef->a;
+                        ctx.fire(BugId::LlvmAsanCharPtrBaseChecked,
+                                 inst.loc);
+                    }
+                    emitCheck(addr, size, false, inst.loc);
+                    break;
+                  }
+                  case Opcode::Store: {
+                    covStore[vi].hit();
+                    covWide[vi].branch(inst.imm >= 8);
+                    const Inst *root = addressRoot(defs, inst.a);
+                    bool direct_scalar =
+                        root &&
+                        (root->op == Opcode::FrameAddr ||
+                         root->op == Opcode::GlobalAddr) &&
+                        defs.def(inst.a) == root;
+                    covDirectSkip[vi].branch(direct_scalar);
+                    if (direct_scalar)
+                        break;
+                    const Inst *adef = defs.def(inst.a);
+                    if (ctx.bugs.active(
+                            BugId::GccAsanGlobalPtrStoreNoCheck) &&
+                        adef) {
+                        // Figure 12a: the address was loaded from a
+                        // global pointer variable.
+                        const Inst *chase = adef;
+                        if (chase->op == Opcode::Gep)
+                            chase = defs.def(chase->a);
+                        if (chase && chase->op == Opcode::Load) {
+                            const Inst *pdef = defs.def(chase->a);
+                            if (pdef &&
+                                pdef->op == Opcode::GlobalAddr) {
+                                ctx.fire(
+                                    BugId::GccAsanGlobalPtrStoreNoCheck,
+                                    inst.loc);
+                                break;
+                            }
+                        }
+                    }
+                    auto object_key = [](const Inst *r) -> uint32_t {
+                        if (!r)
+                            return UINT32_MAX;
+                        if (r->op == Opcode::FrameAddr)
+                            return r->object * 2;
+                        if (r->op == Opcode::GlobalAddr)
+                            return r->object * 2 + 1;
+                        return UINT32_MAX;
+                    };
+                    uint32_t okey = object_key(root);
+                    if (ctx.bugs.active(
+                            BugId::LlvmAsanAdjacentStoreNoCheck) &&
+                        okey != UINT32_MAX &&
+                        checkedStoreObjects.count(okey)) {
+                        ctx.fire(BugId::LlvmAsanAdjacentStoreNoCheck,
+                                 inst.loc);
+                        break;
+                    }
+                    if (okey != UINT32_MAX)
+                        checkedStoreObjects.insert(okey);
+                    Value addr = inst.a;
+                    if (ctx.bugs.active(
+                            BugId::LlvmAsanCharPtrBaseChecked) &&
+                        inst.imm == 1 && adef &&
+                        adef->op == Opcode::Gep && adef->b.isReg()) {
+                        addr = adef->a;
+                        ctx.fire(BugId::LlvmAsanCharPtrBaseChecked,
+                                 inst.loc);
+                    }
+                    emitCheck(addr, inst.imm, true, inst.loc);
+                    break;
+                  }
+                  case Opcode::MemCopy: {
+                    covMemCopy[vi].hit();
+                    const Inst *src_root = addressRoot(defs, inst.b);
+                    const Inst *dst_root = addressRoot(defs, inst.a);
+                    auto runtime_root = [](const Inst *r) {
+                        return !r || r->op == Opcode::Load ||
+                               r->op == Opcode::Call ||
+                               r->op == Opcode::Malloc;
+                    };
+                    if (ctx.bugs.active(
+                            BugId::GccAsanStructCopyNoCheck) &&
+                        (runtime_root(src_root) ||
+                         runtime_root(dst_root))) {
+                        // Figure 1: aggregate copies through runtime
+                        // pointers escape instrumentation entirely.
+                        ctx.fire(BugId::GccAsanStructCopyNoCheck,
+                                 inst.loc);
+                        break;
+                    }
+                    SourceLoc loc = inst.loc;
+                    if (ctx.bugs.active(
+                            BugId::GccAsanMemCopyCheckWrongLoc)) {
+                        loc = block_first_loc;
+                        ctx.fire(BugId::GccAsanMemCopyCheckWrongLoc,
+                                 inst.loc);
+                    }
+                    emitCheck(inst.b, inst.imm, false, loc);
+                    emitCheck(inst.a, inst.imm, true, loc);
+                    break;
+                  }
+                  case Opcode::LifetimeEnd: {
+                    bool in_loop = cyclic[bb.id];
+                    covScope[vi].branch(in_loop);
+                    if (ctx.bugs.active(
+                            BugId::GccAsanScopePoisonLoopRemoved) &&
+                        in_loop && f.frame[inst.object].size > 8) {
+                        // Figure 12c: the scope poisoning is removed
+                        // when leaving the loop.
+                        ctx.fire(BugId::GccAsanScopePoisonLoopRemoved);
+                        continue; // drop the marker entirely
+                    }
+                    if (ctx.bugs.active(
+                            BugId::LlvmAsanEscapedScopeNoPoison) &&
+                        escaped[inst.object]) {
+                        ctx.fire(BugId::LlvmAsanEscapedScopeNoPoison);
+                        continue;
+                    }
+                    break;
+                  }
+                  default:
+                    break;
+                }
+                defs.note(inst);
+                out.push_back(inst);
+            }
+            bb.insts = std::move(out);
+        }
+    }
+}
+
+} // namespace ubfuzz::san

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small analyses shared by the sanitizer passes: in-block def chains
+ * and cyclic-block detection.
+ */
+
+#ifndef UBFUZZ_SANITIZER_PASS_UTIL_H
+#define UBFUZZ_SANITIZER_PASS_UTIL_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace ubfuzz::san {
+
+/** Register -> defining instruction, within one basic block. */
+class DefMap
+{
+  public:
+    void
+    note(const ir::Inst &inst)
+    {
+        if (inst.dst)
+            defs_[inst.dst] = &inst;
+    }
+
+    const ir::Inst *
+    def(const ir::Value &v) const
+    {
+        if (!v.isReg())
+            return nullptr;
+        auto it = defs_.find(v.reg);
+        return it == defs_.end() ? nullptr : it->second;
+    }
+
+  private:
+    std::unordered_map<uint32_t, const ir::Inst *> defs_;
+};
+
+/** Blocks that can reach themselves (participate in a loop). */
+std::vector<bool> cyclicBlocks(const ir::Function &f);
+
+/**
+ * Walk an address chain (Gep/Cast) to its root instruction within the
+ * block; nullptr when the chain leaves the block or starts at an
+ * immediate.
+ */
+const ir::Inst *addressRoot(const DefMap &defs, const ir::Value &addr);
+
+} // namespace ubfuzz::san
+
+#endif // UBFUZZ_SANITIZER_PASS_UTIL_H

@@ -1,0 +1,348 @@
+#include "sanitizer/sanitizer.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sanitizer/pass_util.h"
+#include "support/coverage.h"
+
+namespace ubfuzz::san {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Inst;
+using ir::Module;
+using ir::Opcode;
+using ir::Value;
+using ast::BinaryOp;
+
+static ubfuzz::CovSite covRun[2] = {
+    {"gcc.sanopt.run", CovKind::Function},
+    {"llvm.sanopt.run", CovKind::Function}};
+static ubfuzz::CovSite covDupRemoved[2] = {
+    {"gcc.sanopt.dup_check_removed", CovKind::Line},
+    {"llvm.sanopt.dup_check_removed", CovKind::Line}};
+static ubfuzz::CovSite covStaticSafe[2] = {
+    {"gcc.sanopt.static_safe_removed", CovKind::Line},
+    {"llvm.sanopt.static_safe_removed", CovKind::Line}};
+static ubfuzz::CovSite covStaticKept[2] = {
+    {"gcc.sanopt.static_unsafe_kept", CovKind::Branch},
+    {"llvm.sanopt.static_unsafe_kept", CovKind::Branch}};
+
+namespace {
+
+/** Statically evaluate a check with all-immediate operands.
+ *  @return 0 unknown, 1 provably safe (removable), 2 provably UB. */
+int
+staticCheckVerdict(const Inst &chk)
+{
+    switch (chk.op) {
+      case Opcode::UbsanArith: {
+        if (!chk.a.isImm() || !chk.b.isImm())
+            return 0;
+        if (!ast::scalarSigned(chk.kind))
+            return 1;
+        int bits = ast::scalarBits(chk.kind);
+        __int128 a = static_cast<int64_t>(
+            ir::canonicalValue(chk.a.imm, chk.kind));
+        __int128 b = static_cast<int64_t>(
+            ir::canonicalValue(chk.b.imm, chk.kind));
+        __int128 r = chk.binOp == BinaryOp::Add   ? a + b
+                     : chk.binOp == BinaryOp::Sub ? a - b
+                                                  : a * b;
+        __int128 lo = -(static_cast<__int128>(1) << (bits - 1));
+        __int128 hi = (static_cast<__int128>(1) << (bits - 1)) - 1;
+        return (r < lo || r > hi) ? 2 : 1;
+      }
+      case Opcode::UbsanShift: {
+        if (!chk.b.isImm())
+            return 0;
+        int64_t count = static_cast<int64_t>(chk.b.imm);
+        return (count < 0 || count >= ast::scalarBits(chk.kind)) ? 2 : 1;
+      }
+      case Opcode::UbsanDiv: {
+        if (!chk.b.isImm())
+            return 0;
+        return ir::canonicalValue(chk.b.imm, chk.kind) == 0 ? 2 : 1;
+      }
+      case Opcode::UbsanBounds: {
+        if (!chk.a.isImm())
+            return 0;
+        int64_t idx = static_cast<int64_t>(chk.a.imm);
+        return (idx < 0 || static_cast<uint64_t>(idx) >= chk.imm) ? 2
+                                                                  : 1;
+      }
+      case Opcode::UbsanNull:
+        if (!chk.a.isImm())
+            return 0;
+        return chk.a.imm == 0 ? 2 : 1;
+      default:
+        return 0;
+    }
+}
+
+} // namespace
+
+void
+runSanOpt(Module &m, const SanitizerContext &ctx)
+{
+    int vi = ctx.bugs.vendor() == Vendor::LLVM ? 1 : 0;
+    covRun[vi].hit();
+
+    for (Function &f : m.functions) {
+        for (BasicBlock &bb : f.blocks) {
+            DefMap defs;
+            // ASan duplicate elimination state. Checked addresses are
+            // keyed by pointer provenance: "the pointer loaded from
+            // object X" — two derefs of the same pointer variable are
+            // the same check even when loads were not CSE'd.
+            std::unordered_set<uint64_t> checkedAddr;
+            std::unordered_set<uint32_t> checkedGepBase;
+            bool free_since_clear = false;
+            int arith_checks_in_block = 0;
+
+            // Provenance key for an address register: the variable
+            // slot its pointer was loaded from, or the register id.
+            auto addrKey = [&](const DefMap &d,
+                               const Value &addr) -> uint64_t {
+                const Inst *def = d.def(addr);
+                if (def && def->op == Opcode::Load) {
+                    const Inst *src = d.def(def->a);
+                    if (src && src->op == Opcode::FrameAddr)
+                        return 0x1000000000ULL | src->object;
+                    if (src && src->op == Opcode::GlobalAddr)
+                        return 0x2000000000ULL | src->object;
+                }
+                return addr.isReg() ? addr.reg : ~0ULL;
+            };
+
+            std::vector<Inst> out;
+            out.reserve(bb.insts.size());
+            for (const Inst &inst : bb.insts) {
+                bool drop = false;
+                switch (inst.op) {
+                  case Opcode::AsanCheck: {
+                    if (!inst.a.isReg())
+                        break;
+                    uint64_t key = (addrKey(defs, inst.a) << 8) |
+                                   (inst.imm & 0xFF);
+                    if (checkedAddr.count(key)) {
+                        // A same-address, same-size check already ran.
+                        // Correct unless a free() happened in between
+                        // (the GccAsanSanOptDupAcrossFree defect keeps
+                        // us from invalidating the cache there).
+                        covDupRemoved[vi].hit();
+                        drop = true;
+                        if (free_since_clear) {
+                            ctx.fire(
+                                BugId::GccAsanSanOptDupAcrossFree,
+                                inst.loc);
+                        }
+                        break;
+                    }
+                    const Inst *adef = defs.def(inst.a);
+                    if (ctx.bugs.active(
+                            BugId::GccAsanSanOptConstGepRemoved) &&
+                        adef && adef->op == Opcode::Gep &&
+                        adef->b.isImm()) {
+                        const Inst *base = defs.def(adef->a);
+                        if (base &&
+                            (base->op == Opcode::FrameAddr ||
+                             base->op == Opcode::GlobalAddr)) {
+                            // "Constant index is provably in bounds"
+                            // — without consulting the bound.
+                            ctx.fire(
+                                BugId::GccAsanSanOptConstGepRemoved,
+                                inst.loc);
+                            drop = true;
+                            break;
+                        }
+                    }
+                    if (ctx.bugs.active(
+                            BugId::LlvmAsanSanOptSameBaseRemoved) &&
+                        adef && adef->op == Opcode::Gep &&
+                        adef->a.isReg() &&
+                        checkedGepBase.count(adef->a.reg)) {
+                        ctx.fire(BugId::LlvmAsanSanOptSameBaseRemoved,
+                                 inst.loc);
+                        drop = true;
+                        break;
+                    }
+                    checkedAddr.insert(key);
+                    if (adef && adef->op == Opcode::Gep &&
+                        adef->a.isReg())
+                        checkedGepBase.insert(adef->a.reg);
+                    break;
+                  }
+                  case Opcode::UbsanArith: {
+                    int verdict = staticCheckVerdict(inst);
+                    covStaticKept[vi].branch(verdict == 2);
+                    if (verdict == 1) {
+                        covStaticSafe[vi].hit();
+                        drop = true;
+                        break;
+                    }
+                    if (ctx.bugs.active(
+                            BugId::
+                                GccUbsanSanOptWidenedResultRemoved)) {
+                        // Find the guarded Bin (the next instruction
+                        // in the input stream) and test whether its
+                        // result is immediately widened.
+                        // The ubsan pass emits the check directly
+                        // before its Bin, so peek ahead.
+                        // (Handled below via lookahead.)
+                    }
+                    arith_checks_in_block++;
+                    if (ctx.bugs.active(
+                            BugId::LlvmUbsanCheckBudgetDropped) &&
+                        arith_checks_in_block > 4) {
+                        ctx.fire(BugId::LlvmUbsanCheckBudgetDropped,
+                                 inst.loc);
+                        drop = true;
+                    }
+                    break;
+                  }
+                  case Opcode::UbsanShift:
+                  case Opcode::UbsanDiv:
+                  case Opcode::UbsanBounds:
+                  case Opcode::UbsanNull: {
+                    int verdict = staticCheckVerdict(inst);
+                    covStaticKept[vi].branch(verdict == 2);
+                    if (verdict == 1) {
+                        covStaticSafe[vi].hit();
+                        drop = true;
+                        }
+                    break;
+                  }
+                  case Opcode::Store: {
+                    // A store may overwrite a pointer variable and
+                    // stale the provenance-keyed cache. Type-based
+                    // reasoning keeps the cache alive for narrow
+                    // stores (they cannot hold a pointer).
+                    const Inst *dest = defs.def(inst.a);
+                    if (dest && dest->op == Opcode::FrameAddr) {
+                        checkedAddr.erase(
+                            ((0x1000000000ULL | dest->object) << 8) |
+                            (8 & 0xFF));
+                        for (int sz = 0; sz < 9; sz++)
+                            checkedAddr.erase(
+                                ((0x1000000000ULL | dest->object)
+                                 << 8) |
+                                static_cast<uint64_t>(sz));
+                    } else if (dest &&
+                               dest->op == Opcode::GlobalAddr) {
+                        for (int sz = 0; sz < 9; sz++)
+                            checkedAddr.erase(
+                                ((0x2000000000ULL | dest->object)
+                                 << 8) |
+                                static_cast<uint64_t>(sz));
+                    } else if (inst.imm >= 8) {
+                        checkedAddr.clear();
+                        checkedGepBase.clear();
+                    }
+                    break;
+                  }
+                  case Opcode::LifetimeStart:
+                    // Unpoisoning only: previously valid checks stay
+                    // valid, the cache survives.
+                    break;
+                  case Opcode::Free:
+                  case Opcode::Call:
+                  case Opcode::Malloc:
+                  case Opcode::MemCopy:
+                  case Opcode::LifetimeEnd: {
+                    bool is_free = inst.op == Opcode::Free;
+                    if (is_free &&
+                        ctx.bugs.active(
+                            BugId::GccAsanSanOptDupAcrossFree)) {
+                        // Defect: the check cache survives free().
+                        free_since_clear = true;
+                    } else {
+                        checkedAddr.clear();
+                        checkedGepBase.clear();
+                        free_since_clear = false;
+                    }
+                    break;
+                  }
+                  default:
+                    break;
+                }
+                defs.note(inst);
+                if (!drop)
+                    out.push_back(inst);
+            }
+            bb.insts = std::move(out);
+
+            // GccUbsanSanOptWidenedResultRemoved: remove an arith
+            // check when its guarded Bin's result feeds only a
+            // widening Cast.
+            if (ctx.bugs.active(
+                    BugId::GccUbsanSanOptWidenedResultRemoved)) {
+                std::vector<Inst> &insts = bb.insts;
+                std::vector<Inst> cleaned;
+                cleaned.reserve(insts.size());
+                for (size_t i = 0; i < insts.size(); i++) {
+                    const Inst &chk = insts[i];
+                    if (chk.op == Opcode::UbsanArith &&
+                        i + 1 < insts.size()) {
+                        const Inst &bin = insts[i + 1];
+                        if (bin.op == Opcode::Bin && bin.dst) {
+                            // Count uses and find the lone use.
+                            const Inst *lone = nullptr;
+                            int uses = 0;
+                            for (size_t j = i + 2; j < insts.size();
+                                 j++) {
+                                const Inst &u = insts[j];
+                                auto scan = [&](const Value &v) {
+                                    if (v.isReg() &&
+                                        v.reg == bin.dst) {
+                                        uses++;
+                                        lone = &u;
+                                    }
+                                };
+                                scan(u.a);
+                                scan(u.b);
+                                scan(u.c);
+                                for (const Value &arg : u.args)
+                                    scan(arg);
+                            }
+                            if (uses == 1 && lone &&
+                                lone->op == Opcode::Cast &&
+                                ast::scalarBits(lone->kind) >
+                                    ast::scalarBits(bin.kind)) {
+                                ctx.fire(
+                                    BugId::
+                                        GccUbsanSanOptWidenedResultRemoved,
+                                    chk.loc);
+                                continue; // drop the check
+                            }
+                        }
+                    }
+                    cleaned.push_back(chk);
+                }
+                bb.insts = std::move(cleaned);
+            }
+        }
+    }
+}
+
+void
+instrument(Module &m, const SanitizerContext &ctx)
+{
+    switch (ctx.kind) {
+      case SanitizerKind::None:
+        return;
+      case SanitizerKind::ASan:
+        runAsanPass(m, ctx);
+        break;
+      case SanitizerKind::UBSan:
+        runUbsanPass(m, ctx);
+        break;
+      case SanitizerKind::MSan:
+        runMsanPass(m, ctx);
+        break;
+    }
+    runSanOpt(m, ctx);
+}
+
+} // namespace ubfuzz::san

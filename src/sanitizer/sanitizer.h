@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Sanitizer instrumentation passes for the simulated compilers.
+ *
+ * Mirrors the paper's Figure 2 pipeline position: the passes run after
+ * the early optimizer and before the late optimizer. Each pass consults
+ * the ActiveBugs set (vendor + version + level gates) and records every
+ * defect that influenced the output in the CompileLog — the campaign's
+ * ground truth for oracle evaluation (RQ3).
+ */
+
+#ifndef UBFUZZ_SANITIZER_SANITIZER_H
+#define UBFUZZ_SANITIZER_SANITIZER_H
+
+#include "ir/ir.h"
+#include "sanitizer/bug_catalog.h"
+#include "support/toolchain.h"
+
+namespace ubfuzz::san {
+
+/** Everything a sanitizer pass needs to know about its compilation. */
+struct SanitizerContext
+{
+    SanitizerKind kind = SanitizerKind::None;
+    ActiveBugs bugs;
+    CompileLog *log = nullptr;
+
+    void
+    fire(BugId id, SourceLoc loc = {}) const
+    {
+        if (log)
+            log->fire(id, loc);
+    }
+};
+
+/** AddressSanitizer: redzones, shadow checks, lifetime poisoning. */
+void runAsanPass(ir::Module &m, const SanitizerContext &ctx);
+
+/** UndefinedBehaviorSanitizer: arith/shift/div/null/bounds checks. */
+void runUbsanPass(ir::Module &m, const SanitizerContext &ctx);
+
+/** MemorySanitizer: definedness checks at branches and outputs. */
+void runMsanPass(ir::Module &m, const SanitizerContext &ctx);
+
+/**
+ * The sanitizer-check optimizer (GCC's sanopt / LLVM's check
+ * elimination): removes provably-redundant checks. Several injected
+ * bugs (the "Incorrect Sanitizer Optimization" category) live here.
+ */
+void runSanOpt(ir::Module &m, const SanitizerContext &ctx);
+
+/** Dispatch the configured sanitizer pass followed by sanopt. */
+void instrument(ir::Module &m, const SanitizerContext &ctx);
+
+} // namespace ubfuzz::san
+
+#endif // UBFUZZ_SANITIZER_SANITIZER_H

@@ -1,0 +1,111 @@
+#include "support/coverage.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace ubfuzz {
+
+CovSite::CovSite(const char *name, CovKind kind) : name_(name), kind_(kind)
+{
+    CoverageRegistry::instance().registerSite(this);
+}
+
+double
+CovReport::linePct()
+const
+{
+    return lineTotal ? 100.0 * lineHit / lineTotal : 0.0;
+}
+
+double
+CovReport::funcPct()
+const
+{
+    return funcTotal ? 100.0 * funcHit / funcTotal : 0.0;
+}
+
+double
+CovReport::branchPct()
+const
+{
+    return branchTotal ? 100.0 * branchHit / branchTotal : 0.0;
+}
+
+std::string
+CovReport::str()
+const
+{
+    std::ostringstream os;
+    os.precision(1);
+    os << std::fixed << "LC " << linePct() << "% (" << lineHit << "/"
+       << lineTotal << ") FC " << funcPct() << "% (" << funcHit << "/"
+       << funcTotal << ") BC " << branchPct() << "% (" << branchHit << "/"
+       << branchTotal << ")";
+    return os.str();
+}
+
+CoverageRegistry &
+CoverageRegistry::instance()
+{
+    static CoverageRegistry registry;
+    return registry;
+}
+
+void
+CoverageRegistry::registerSite(CovSite *site)
+{
+    sites_.push_back(site);
+}
+
+void
+CoverageRegistry::resetHits()
+{
+    for (CovSite *s : sites_)
+        s->reset();
+}
+
+CovReport
+CoverageRegistry::report(const std::string &prefix) const
+{
+    CovReport r;
+    for (const CovSite *s : sites_) {
+        if (std::strncmp(s->name(), prefix.c_str(), prefix.size()) != 0)
+            continue;
+        switch (s->kind()) {
+          case CovKind::Line:
+            r.lineTotal++;
+            if (s->hits())
+                r.lineHit++;
+            break;
+          case CovKind::Function:
+            r.funcTotal++;
+            if (s->hits())
+                r.funcHit++;
+            // A function is also a line region.
+            r.lineTotal++;
+            if (s->hits())
+                r.lineHit++;
+            break;
+          case CovKind::Branch:
+            r.branchTotal += 2;
+            if (s->trueHits())
+                r.branchHit++;
+            if (s->falseHits())
+                r.branchHit++;
+            break;
+        }
+    }
+    return r;
+}
+
+std::vector<std::string>
+CoverageRegistry::siteNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(sites_.size());
+    for (const CovSite *s : sites_)
+        names.emplace_back(s->name());
+    return names;
+}
+
+} // namespace ubfuzz

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Structural coverage registry for the compiler's own code.
+ *
+ * The paper's Table 5 measures Gcov line/function/branch coverage of the
+ * sanitizer-related source files in GCC and LLVM while compiling different
+ * program corpora. Our substitute instruments the optimizer and sanitizer
+ * passes of the simulated compilers with explicit coverage sites:
+ *
+ *   - UBF_COV_DECLARE(id, "group.name")          declares a line site
+ *   - UBF_COV_DECLARE_FUNC(id, "group.name")     declares a function site
+ *   - UBF_COV_DECLARE_BRANCH(id, "group.name")   declares a branch site
+ *   - UBF_COV_HIT(id) / UBF_COV_BRANCH(id, cond) record execution
+ *
+ * Sites register themselves at static-initialization time, so the total
+ * universe of sites is known before anything runs — exactly what a
+ * percentage needs. Group prefixes ("gcc.asan", "llvm.ubsan", ...) let
+ * reports slice the universe per simulated vendor, mirroring the paper's
+ * per-compiler columns.
+ */
+
+#ifndef UBFUZZ_SUPPORT_COVERAGE_H
+#define UBFUZZ_SUPPORT_COVERAGE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ubfuzz {
+
+/** The three coverage metrics of Table 5. */
+enum class CovKind { Line, Function, Branch };
+
+class CoverageRegistry;
+
+/** A single instrumented site; self-registers on construction. */
+class CovSite
+{
+  public:
+    CovSite(const char *name, CovKind kind);
+
+    const char *name() const { return name_; }
+    CovKind kind() const { return kind_; }
+
+    /** Record execution (for Line/Function sites). */
+    void hit() { hits_++; }
+
+    /** Record a branch outcome (for Branch sites). */
+    void
+    branch(bool taken)
+    {
+        if (taken)
+            trueHits_++;
+        else
+            falseHits_++;
+    }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t trueHits() const { return trueHits_; }
+    uint64_t falseHits() const { return falseHits_; }
+
+    void
+    reset()
+    {
+        hits_ = trueHits_ = falseHits_ = 0;
+    }
+
+  private:
+    const char *name_;
+    CovKind kind_;
+    uint64_t hits_ = 0;
+    uint64_t trueHits_ = 0;
+    uint64_t falseHits_ = 0;
+};
+
+/** Aggregated coverage numbers for one slice of the site universe. */
+struct CovReport
+{
+    uint64_t lineTotal = 0;
+    uint64_t lineHit = 0;
+    uint64_t funcTotal = 0;
+    uint64_t funcHit = 0;
+    /** Branch arms: two per branch site. */
+    uint64_t branchTotal = 0;
+    uint64_t branchHit = 0;
+
+    double linePct() const;
+    double funcPct() const;
+    double branchPct() const;
+    std::string str() const;
+};
+
+/** Process-wide registry of all coverage sites. */
+class CoverageRegistry
+{
+  public:
+    static CoverageRegistry &instance();
+
+    void registerSite(CovSite *site);
+
+    /** Clear all hit counters (site universe is unchanged). */
+    void resetHits();
+
+    /**
+     * Aggregate all sites whose name starts with @p prefix
+     * (empty prefix = everything).
+     */
+    CovReport report(const std::string &prefix) const;
+
+    /** Names of all registered sites (for tests). */
+    std::vector<std::string> siteNames() const;
+
+  private:
+    CoverageRegistry() = default;
+    std::vector<CovSite *> sites_;
+};
+
+} // namespace ubfuzz
+
+/**
+ * Declaration macros. Use at namespace scope in a .cc file; the site
+ * object registers itself before main() runs.
+ */
+#define UBF_COV_DECLARE(id, name)                                          \
+    static ::ubfuzz::CovSite id(name, ::ubfuzz::CovKind::Line)
+#define UBF_COV_DECLARE_FUNC(id, name)                                     \
+    static ::ubfuzz::CovSite id(name, ::ubfuzz::CovKind::Function)
+#define UBF_COV_DECLARE_BRANCH(id, name)                                   \
+    static ::ubfuzz::CovSite id(name, ::ubfuzz::CovKind::Branch)
+
+#define UBF_COV_HIT(id) (id).hit()
+#define UBF_COV_BRANCH(id, cond) (id).branch((cond))
+
+#endif // UBFUZZ_SUPPORT_COVERAGE_H

@@ -1,0 +1,22 @@
+#include "support/diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ubfuzz {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg.c_str());
+    std::exit(1);
+}
+
+} // namespace ubfuzz

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error-reporting helpers, following the gem5 fatal()/panic() split:
+ * fatal() is for user errors (bad input program, bad configuration),
+ * panic() is for internal invariant violations (a ubfuzz bug).
+ */
+
+#ifndef UBFUZZ_SUPPORT_DIAGNOSTICS_H
+#define UBFUZZ_SUPPORT_DIAGNOSTICS_H
+
+#include <sstream>
+#include <string>
+
+namespace ubfuzz {
+
+/** Abort with an internal-invariant failure message. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit(1) with a user-facing error message. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+namespace detail {
+
+inline std::string
+formatParts()
+{
+    return {};
+}
+
+template <typename T, typename... Rest>
+std::string
+formatParts(const T &head, const Rest &...rest)
+{
+    std::ostringstream os;
+    os << head;
+    return os.str() + formatParts(rest...);
+}
+
+} // namespace detail
+} // namespace ubfuzz
+
+#define UBF_PANIC(...)                                                     \
+    ::ubfuzz::panicImpl(__FILE__, __LINE__,                                \
+                        ::ubfuzz::detail::formatParts(__VA_ARGS__))
+
+#define UBF_FATAL(...)                                                     \
+    ::ubfuzz::fatalImpl(__FILE__, __LINE__,                                \
+                        ::ubfuzz::detail::formatParts(__VA_ARGS__))
+
+#define UBF_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            UBF_PANIC("assertion failed: " #cond " ", __VA_ARGS__);        \
+    } while (0)
+
+#endif // UBFUZZ_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in the repository (seed program generation, shadow
+ * statement value sampling, mutation selection, campaign scheduling) flows
+ * through this generator so that every experiment is reproducible from a
+ * single 64-bit seed. The core is SplitMix64, which is small, fast, and
+ * has well-understood statistical quality for this use.
+ */
+
+#ifndef UBFUZZ_SUPPORT_RNG_H
+#define UBFUZZ_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+
+namespace ubfuzz {
+
+/** Deterministic 64-bit PRNG (SplitMix64). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed=0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). @pre bound > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        assert(bound > 0);
+        // Rejection-free modulo is fine here: bound is always tiny
+        // relative to 2^64 so the bias is negligible for fuzzing.
+        return next() % bound;
+    }
+
+    /** Uniform signed value in [lo, hi] inclusive. @pre lo <= hi. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        assert(lo <= hi);
+        uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+        if (span == UINT64_MAX)
+            return static_cast<int64_t>(next());
+        return lo + static_cast<int64_t>(next() % (span + 1));
+    }
+
+    /** Bernoulli draw: true with probability num/den. */
+    bool
+    chance(uint64_t num, uint64_t den)
+    {
+        assert(den > 0);
+        return below(den) < num;
+    }
+
+    /** True with probability pct/100. */
+    bool percent(uint64_t pct) { return chance(pct, 100); }
+
+    /** Pick one element of a non-empty initializer list. */
+    template <typename T>
+    T
+    pick(std::initializer_list<T> options)
+    {
+        assert(options.size() > 0);
+        return *(options.begin() + below(options.size()));
+    }
+
+    /** Pick an index of a non-empty container. */
+    template <typename C>
+    size_t
+    index(const C &container)
+    {
+        assert(!container.empty());
+        return static_cast<size_t>(below(container.size()));
+    }
+
+    /** Derive an independent child generator (for sub-tasks). */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace ubfuzz
+
+#endif // UBFUZZ_SUPPORT_RNG_H

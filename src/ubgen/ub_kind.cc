@@ -1,0 +1,76 @@
+#include "ubgen/ub_kind.h"
+
+namespace ubfuzz::ubgen {
+
+const char *
+ubKindName(UBKind k)
+{
+    switch (k) {
+      case UBKind::BufferOverflowArray: return "buf-overflow-array";
+      case UBKind::BufferOverflowPointer: return "buf-overflow-pointer";
+      case UBKind::UseAfterFree: return "use-after-free";
+      case UBKind::UseAfterScope: return "use-after-scope";
+      case UBKind::NullPtrDeref: return "null-ptr-deref";
+      case UBKind::IntegerOverflow: return "integer-overflow";
+      case UBKind::ShiftOverflow: return "shift-overflow";
+      case UBKind::DivideByZero: return "divide-by-zero";
+      case UBKind::UseOfUninitMemory: return "use-of-uninit-memory";
+      case UBKind::kCount: break;
+    }
+    return "?";
+}
+
+std::vector<SanitizerKind>
+sanitizersFor(UBKind k)
+{
+    switch (k) {
+      case UBKind::BufferOverflowArray:
+        return {SanitizerKind::ASan, SanitizerKind::UBSan};
+      case UBKind::BufferOverflowPointer:
+      case UBKind::UseAfterFree:
+      case UBKind::UseAfterScope:
+        return {SanitizerKind::ASan};
+      case UBKind::NullPtrDeref:
+      case UBKind::IntegerOverflow:
+      case UBKind::ShiftOverflow:
+      case UBKind::DivideByZero:
+        return {SanitizerKind::UBSan};
+      case UBKind::UseOfUninitMemory:
+        return {SanitizerKind::MSan};
+      case UBKind::kCount:
+        break;
+    }
+    return {};
+}
+
+bool
+reportMatchesKind(UBKind k, vm::ReportKind r)
+{
+    using R = vm::ReportKind;
+    switch (k) {
+      case UBKind::BufferOverflowArray:
+      case UBKind::BufferOverflowPointer:
+        return r == R::StackBufferOverflow ||
+               r == R::GlobalBufferOverflow ||
+               r == R::HeapBufferOverflow || r == R::ArrayIndexOOB;
+      case UBKind::UseAfterFree:
+        return r == R::HeapUseAfterFree;
+      case UBKind::UseAfterScope:
+        return r == R::StackUseAfterScope;
+      case UBKind::NullPtrDeref:
+        return r == R::NullDeref;
+      case UBKind::IntegerOverflow:
+        return r == R::SignedIntegerOverflow;
+      case UBKind::ShiftOverflow:
+        return r == R::ShiftOutOfBounds;
+      case UBKind::DivideByZero:
+        return r == R::DivByZero;
+      case UBKind::UseOfUninitMemory:
+        return r == R::UninitValue;
+      case UBKind::kCount:
+        break;
+    }
+    return false;
+}
+
+} // namespace ubfuzz::ubgen

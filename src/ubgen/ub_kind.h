@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The nine UB kinds UBGen supports (Table 1) and the sanitizer that
+ * detects each (Table 2).
+ */
+
+#ifndef UBFUZZ_UBGEN_UB_KIND_H
+#define UBFUZZ_UBGEN_UB_KIND_H
+
+#include <vector>
+
+#include "support/toolchain.h"
+#include "vm/vm.h"
+
+namespace ubfuzz::ubgen {
+
+enum class UBKind : uint8_t {
+    BufferOverflowArray,
+    BufferOverflowPointer,
+    UseAfterFree,
+    UseAfterScope,
+    NullPtrDeref,
+    IntegerOverflow,
+    ShiftOverflow,
+    DivideByZero,
+    UseOfUninitMemory,
+    kCount,
+};
+
+constexpr size_t kNumUBKinds = static_cast<size_t>(UBKind::kCount);
+
+inline constexpr UBKind kAllUBKinds[] = {
+    UBKind::BufferOverflowArray, UBKind::BufferOverflowPointer,
+    UBKind::UseAfterFree,        UBKind::UseAfterScope,
+    UBKind::NullPtrDeref,        UBKind::IntegerOverflow,
+    UBKind::ShiftOverflow,       UBKind::DivideByZero,
+    UBKind::UseOfUninitMemory,
+};
+
+const char *ubKindName(UBKind k);
+
+/** Table 2: which sanitizers detect which UB kind. */
+std::vector<SanitizerKind> sanitizersFor(UBKind k);
+
+/** Does a VM sanitizer report match the expected UB kind? */
+bool reportMatchesKind(UBKind k, vm::ReportKind r);
+
+} // namespace ubfuzz::ubgen
+
+#endif // UBFUZZ_UBGEN_UB_KIND_H

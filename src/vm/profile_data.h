@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Raw dynamic-profile records collected by the VM while executing an
+ * instrumented seed program (the __log_* builtins of §3.2.2). UBGen
+ * wraps these in the paper's query interface (Q_liv, Q_val, Q_mem,
+ * Q_scp).
+ */
+
+#ifndef UBFUZZ_VM_PROFILE_DATA_H
+#define UBFUZZ_VM_PROFILE_DATA_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ubfuzz::vm {
+
+/** What kind of storage an address belongs to. */
+enum class ObjectKind : uint8_t { Global, Stack, Heap };
+
+/** Liveness state of an allocation at some point in time. */
+enum class ObjectState : uint8_t { Live, Freed, ScopeEnded };
+
+/** A pointer observation: where it pointed and into what object. */
+struct PtrRecord
+{
+    uint64_t address = 0;
+    /** Owning object at log time; id 0 means "no object". */
+    uint64_t objectId = 0;
+    uint64_t objectBase = 0;
+    uint64_t objectSize = 0;
+    ObjectKind objectKind = ObjectKind::Global;
+    ObjectState objectState = ObjectState::Live;
+};
+
+/** A buffer observation from __log_buf(site, p, size). */
+struct BufRecord
+{
+    uint64_t address = 0;
+    uint64_t size = 0;
+    uint64_t objectId = 0;
+    ObjectKind objectKind = ObjectKind::Global;
+};
+
+/** Scope entry/exit event from __log_scope_enter/exit(blockId). */
+struct ScopeEvent
+{
+    uint64_t blockId = 0;
+    bool enter = false;
+    uint64_t seq = 0;
+};
+
+/** One heap allocation's life, from the VM's own bookkeeping. */
+struct AllocRecord
+{
+    uint64_t objectId = 0;
+    uint64_t base = 0;
+    uint64_t size = 0;
+    uint64_t allocSeq = 0;
+    uint64_t freeSeq = 0; ///< 0 when never freed
+};
+
+/** Everything one profiled execution observed. */
+struct RawProfile
+{
+    /** site id -> values in observation order (__log_val). */
+    std::unordered_map<uint64_t, std::vector<int64_t>> values;
+    /** site id -> pointer observations (__log_ptr). */
+    std::unordered_map<uint64_t, std::vector<PtrRecord>> pointers;
+    /** site id -> buffer observations (__log_buf). */
+    std::unordered_map<uint64_t, std::vector<BufRecord>> buffers;
+    std::vector<ScopeEvent> scopes;
+    std::vector<AllocRecord> heapAllocs;
+    uint64_t eventSeq = 0;
+
+    void
+    clear()
+    {
+        values.clear();
+        pointers.clear();
+        buffers.clear();
+        scopes.clear();
+        heapAllocs.clear();
+        eventSeq = 0;
+    }
+};
+
+} // namespace ubfuzz::vm
+
+#endif // UBFUZZ_VM_PROFILE_DATA_H

@@ -1,0 +1,1203 @@
+#include "vm/vm.h"
+
+#include <cstring>
+#include <map>
+
+#include "support/diagnostics.h"
+
+namespace ubfuzz::vm {
+
+using ir::Inst;
+using ir::Opcode;
+using ir::ScalarKind;
+using ir::Value;
+
+const char *
+reportKindName(ReportKind k)
+{
+    switch (k) {
+      case ReportKind::None: return "none";
+      case ReportKind::StackBufferOverflow: return "stack-buffer-overflow";
+      case ReportKind::GlobalBufferOverflow:
+        return "global-buffer-overflow";
+      case ReportKind::HeapBufferOverflow: return "heap-buffer-overflow";
+      case ReportKind::HeapUseAfterFree: return "heap-use-after-free";
+      case ReportKind::StackUseAfterScope: return "stack-use-after-scope";
+      case ReportKind::NullDeref: return "null-pointer-dereference";
+      case ReportKind::SignedIntegerOverflow:
+        return "signed-integer-overflow";
+      case ReportKind::ShiftOutOfBounds: return "shift-out-of-bounds";
+      case ReportKind::DivByZero: return "division-by-zero";
+      case ReportKind::ArrayIndexOOB: return "array-index-out-of-bounds";
+      case ReportKind::UninitValue: return "use-of-uninitialized-value";
+    }
+    return "?";
+}
+
+const char *
+trapKindName(TrapKind k)
+{
+    switch (k) {
+      case TrapKind::None: return "none";
+      case TrapKind::Segfault: return "SIGSEGV";
+      case TrapKind::DivByZero: return "SIGFPE";
+      case TrapKind::StackOverflow: return "stack-overflow";
+      case TrapKind::InvalidFree: return "invalid-free";
+      case TrapKind::OutOfMemory: return "out-of-memory";
+    }
+    return "?";
+}
+
+std::string
+ExecResult::str() const
+{
+    switch (kind) {
+      case Kind::Clean:
+        return "clean exit " + std::to_string(exitCode) + " checksum " +
+               std::to_string(checksum);
+      case Kind::Report:
+        return std::string("sanitizer report: ") + reportKindName(report) +
+               " at " + reportLoc.str();
+      case Kind::Trap:
+        return std::string("trap: ") + trapKindName(trap) + " at " +
+               trapLoc.str();
+      case Kind::Timeout:
+        return "timeout";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr uint64_t kGlobalBase = 0x10000000;
+constexpr uint64_t kStackBase = 0x20000000;
+constexpr uint64_t kHeapBase = 0x30000000;
+constexpr uint64_t kStackCapacity = 1 << 20;
+constexpr uint64_t kHeapCapacity = 8 << 20;
+constexpr uint64_t kNullGuard = 0x1000;
+constexpr uint8_t kFillByte = 0xAA;
+constexpr uint32_t kMaxCallDepth = 200;
+constexpr uint32_t kHeapRedzone = 32;
+
+/** Poison codes stored in the ASan shadow. */
+enum : uint8_t {
+    kPoisonNone = 0,
+    kPoisonStackRz = 1,
+    kPoisonGlobalRz = 2,
+    kPoisonHeapRz = 3,
+    kPoisonFreed = 4,
+    kPoisonScope = 5,
+};
+
+uint64_t
+canonical(uint64_t raw, ScalarKind k)
+{
+    int bits = ast::scalarBits(k);
+    if (bits >= 64 || bits == 0)
+        return raw;
+    uint64_t mask = (1ULL << bits) - 1;
+    raw &= mask;
+    if (ast::scalarSigned(k) && (raw & (1ULL << (bits - 1))))
+        raw |= ~mask;
+    return raw;
+}
+
+struct Segment
+{
+    uint64_t base = 0;
+    std::vector<uint8_t> mem;
+    std::vector<uint8_t> poison;
+    std::vector<uint8_t> msh; ///< MSan definedness shadow (1 = uninit)
+
+    bool
+    contains(uint64_t addr, uint64_t size) const
+    {
+        return addr >= base && addr + size >= addr &&
+               addr + size <= base + mem.size();
+    }
+
+    void
+    grow(uint64_t new_size)
+    {
+        mem.resize(new_size, kFillByte);
+        poison.resize(new_size, kPoisonNone);
+        msh.resize(new_size, 0);
+    }
+};
+
+struct Object
+{
+    uint64_t id = 0;
+    uint64_t base = 0;
+    uint64_t size = 0;
+    ObjectKind kind = ObjectKind::Global;
+    ObjectState state = ObjectState::Live;
+    uint32_t declId = 0;
+};
+
+struct Frame
+{
+    const ir::Function *fn = nullptr;
+    uint32_t block = 0;
+    uint32_t ip = 0;
+    std::vector<uint64_t> regs;
+    std::vector<uint8_t> rsh; ///< register definedness (1 = uninit)
+    /**
+     * Ground-truth pointer provenance: the object id a register's
+     * pointer value is derived from (0 = none). Mirrors the C notion
+     * that `a[4]` is out of bounds of `a` even if the address happens
+     * to land inside a neighbouring object.
+     */
+    std::vector<uint64_t> prov;
+    /** Object id per frame-object index. */
+    std::vector<uint64_t> objIds;
+    uint64_t savedSp = 0;
+    /** Where to put the return value in the caller. */
+    uint32_t callerDst = 0;
+    ScalarKind callerKind = ScalarKind::S64;
+};
+
+class Machine
+{
+  public:
+    Machine(const ir::Module &m, const ExecOptions &opts)
+        : m_(m), opts_(opts)
+    {
+        globals_.base = kGlobalBase;
+        stack_.base = kStackBase;
+        stack_.grow(kStackCapacity);
+        heap_.base = kHeapBase;
+        trackShadow_ = m_.msan.enabled || opts_.groundTruth;
+    }
+
+    ExecResult
+    run()
+    {
+        UBF_ASSERT(m_.mainIndex >= 0, "module has no main");
+        loadGlobals();
+        pushFrame(static_cast<uint32_t>(m_.mainIndex), {}, {}, 0,
+                  ScalarKind::S32);
+        while (!done_) {
+            if (result_.steps >= opts_.stepLimit) {
+                result_.kind = ExecResult::Kind::Timeout;
+                break;
+            }
+            step();
+        }
+        return std::move(result_);
+    }
+
+  private:
+    //===------------------------------------------------------------===//
+    // Memory plumbing
+    //===------------------------------------------------------------===//
+
+    Segment *
+    segmentFor(uint64_t addr, uint64_t size)
+    {
+        if (globals_.contains(addr, size))
+            return &globals_;
+        if (stack_.contains(addr, size))
+            return &stack_;
+        if (heap_.contains(addr, size))
+            return &heap_;
+        return nullptr;
+    }
+
+    /** addr -> provenance object id for pointer values in memory. */
+    std::map<uint64_t, uint64_t> memProv_;
+
+    uint64_t
+    provOf(const Value &v)
+    {
+        if (!opts_.groundTruth || !v.isReg())
+            return 0;
+        return frames_.back().prov[v.reg];
+    }
+
+    void
+    setProv(uint32_t dst, uint64_t objId)
+    {
+        if (opts_.groundTruth && dst)
+            frames_.back().prov[dst] = objId;
+    }
+
+    uint64_t
+    registerObject(uint64_t base, uint64_t size, ObjectKind kind,
+                   uint32_t declId)
+    {
+        Object obj;
+        obj.id = nextObjectId_++;
+        obj.base = base;
+        obj.size = size;
+        obj.kind = kind;
+        obj.declId = declId;
+        objects_.push_back(obj);
+        byBase_[base] = obj.id;
+        return obj.id;
+    }
+
+    Object *
+    objectById(uint64_t id)
+    {
+        return id ? &objects_[id - 1] : nullptr;
+    }
+
+    /** The object whose [base, base+size) contains or precedes @p addr. */
+    Object *
+    resolveObject(uint64_t addr)
+    {
+        auto it = byBase_.upper_bound(addr);
+        if (it == byBase_.begin())
+            return nullptr;
+        --it;
+        Object *obj = objectById(it->second);
+        // Only resolve within the same segment region.
+        uint64_t seg_base = addr & ~0xFFFFFFFULL;
+        if ((obj->base & ~0xFFFFFFFULL) != seg_base)
+            return nullptr;
+        return obj;
+    }
+
+    void
+    setPoison(uint64_t addr, uint64_t size, uint8_t code)
+    {
+        Segment *seg = segmentFor(addr, size);
+        if (!seg)
+            return;
+        std::memset(seg->poison.data() + (addr - seg->base),
+                    code, size);
+    }
+
+    void
+    setMsanShadow(uint64_t addr, uint64_t size, uint8_t v)
+    {
+        if (!trackShadow_)
+            return;
+        Segment *seg = segmentFor(addr, size);
+        if (!seg)
+            return;
+        std::memset(seg->msh.data() + (addr - seg->base), v, size);
+    }
+
+    //===------------------------------------------------------------===//
+    // Program load
+    //===------------------------------------------------------------===//
+
+    std::vector<uint64_t> globalAddrs_;
+
+    void
+    loadGlobals()
+    {
+        uint64_t off = 64; // keep a small guard at segment start
+        // Layout pass.
+        for (const ir::GlobalObject &g : m_.globals) {
+            uint32_t rz = m_.asanGlobals ? g.redzone : 0;
+            off = (off + g.align - 1) / g.align * g.align;
+            off += rz;
+            // Redzones must keep natural alignment of the payload.
+            off = (off + g.align - 1) / g.align * g.align;
+            globalAddrs_.push_back(kGlobalBase + off);
+            off += g.size + rz;
+        }
+        globals_.grow(off + 64);
+        // Contents, shadow, object registry, relocations.
+        for (size_t i = 0; i < m_.globals.size(); i++) {
+            const ir::GlobalObject &g = m_.globals[i];
+            uint64_t base = globalAddrs_[i];
+            uint8_t *p = globals_.mem.data() + (base - kGlobalBase);
+            std::memcpy(p, g.init.data(), g.size);
+            setMsanShadow(base, g.size, 0);
+            globalObjIds_.push_back(
+                registerObject(base, g.size, ObjectKind::Global,
+                               g.declId));
+            if (m_.asanGlobals && g.redzone) {
+                setPoison(base - g.redzone, g.redzone, kPoisonGlobalRz);
+                // poisonSkip models the Wrong Red-Zone Buffer bug class
+                // (Figure 12d): the first bytes past the object are
+                // wrongly treated as valid padding.
+                uint64_t skip = std::min<uint64_t>(g.poisonSkip,
+                                                   g.redzone);
+                setPoison(base + g.size + skip, g.redzone - skip,
+                          kPoisonGlobalRz);
+            }
+        }
+        for (size_t i = 0; i < m_.globals.size(); i++) {
+            const ir::GlobalObject &g = m_.globals[i];
+            uint64_t base = globalAddrs_[i];
+            for (const auto &reloc : g.relocs) {
+                uint64_t target = globalAddrs_[reloc.targetIndex] +
+                                  static_cast<uint64_t>(reloc.addend);
+                uint8_t *p = globals_.mem.data() +
+                             (base + reloc.offset - kGlobalBase);
+                std::memcpy(p, &target, 8);
+                if (opts_.groundTruth) {
+                    memProv_[base + reloc.offset] =
+                        globalObjIds_[reloc.targetIndex];
+                }
+            }
+        }
+    }
+
+    std::vector<uint64_t> globalObjIds_;
+
+    //===------------------------------------------------------------===//
+    // Frames and calls
+    //===------------------------------------------------------------===//
+
+    std::vector<Frame> frames_;
+    uint64_t sp_ = kStackBase + 64;
+
+    void
+    pushFrame(uint32_t fnIndex, const std::vector<uint64_t> &args,
+              const std::vector<uint8_t> &argShadow, uint32_t callerDst,
+              ScalarKind callerKind,
+              const std::vector<uint64_t> &argProv = {})
+    {
+        if (frames_.size() >= kMaxCallDepth) {
+            trap(TrapKind::StackOverflow, curLoc_);
+            return;
+        }
+        const ir::Function &fn = m_.functions[fnIndex];
+        Frame f;
+        f.fn = &fn;
+        f.regs.assign(fn.numRegs, 0);
+        f.rsh.assign(fn.numRegs, 0);
+        if (opts_.groundTruth)
+            f.prov.assign(fn.numRegs, 0);
+        f.savedSp = sp_;
+        f.callerDst = callerDst;
+        f.callerKind = callerKind;
+        // Lay out frame objects.
+        for (size_t i = 0; i < fn.frame.size(); i++) {
+            const ir::FrameObject &obj = fn.frame[i];
+            uint32_t rz = obj.redzone;
+            sp_ = (sp_ + obj.align - 1) / obj.align * obj.align;
+            sp_ += rz;
+            sp_ = (sp_ + obj.align - 1) / obj.align * obj.align;
+            uint64_t base = sp_;
+            sp_ += std::max<uint64_t>(obj.size, 1) + rz;
+            if (sp_ > kStackBase + kStackCapacity) {
+                trap(TrapKind::StackOverflow, curLoc_);
+                return;
+            }
+            uint64_t id = registerObject(base, obj.size, ObjectKind::Stack,
+                                         obj.declId);
+            f.objIds.push_back(id);
+            // Fresh stack memory: deterministic garbage, uninitialized.
+            Segment &seg = stack_;
+            std::memset(seg.mem.data() + (base - seg.base), kFillByte,
+                        obj.size);
+            setMsanShadow(base, obj.size, 1);
+            if (rz) {
+                setPoison(base - rz, rz, kPoisonStackRz);
+                setPoison(base + obj.size, rz, kPoisonStackRz);
+            }
+        }
+        // Write arguments into the parameter slots.
+        for (uint32_t i = 0; i < fn.numParams && i < args.size(); i++) {
+            uint64_t base = objects_[f.objIds[i] - 1].base;
+            uint64_t size = fn.frame[i].size;
+            uint8_t *p = stack_.mem.data() + (base - kStackBase);
+            std::memcpy(p, &args[i], size);
+            setMsanShadow(base, size,
+                          i < argShadow.size() ? argShadow[i] : 0);
+            if (opts_.groundTruth && i < argProv.size() && argProv[i] &&
+                size == 8)
+                memProv_[base] = argProv[i];
+        }
+        frames_.push_back(std::move(f));
+    }
+
+    void
+    popFrame(uint64_t retValue, uint8_t retShadow, uint64_t retProv = 0)
+    {
+        Frame &f = frames_.back();
+        // Retire this frame's objects.
+        for (uint64_t id : f.objIds) {
+            Object &obj = objects_[id - 1];
+            auto it = byBase_.find(obj.base);
+            if (it != byBase_.end() && it->second == id)
+                byBase_.erase(it);
+            obj.state = ObjectState::ScopeEnded;
+        }
+        // Clear poisoning over the whole frame (stack reuse is clean).
+        uint64_t lo = f.savedSp, hi = sp_;
+        if (hi > lo) {
+            setPoison(lo, hi - lo, kPoisonNone);
+            if (opts_.groundTruth) {
+                memProv_.erase(memProv_.lower_bound(lo),
+                               memProv_.lower_bound(hi));
+            }
+        }
+        sp_ = f.savedSp;
+        uint32_t dst = f.callerDst;
+        ScalarKind k = f.callerKind;
+        frames_.pop_back();
+        if (frames_.empty()) {
+            result_.exitCode =
+                static_cast<int64_t>(canonical(retValue, k));
+            done_ = true;
+            return;
+        }
+        if (dst) {
+            frames_.back().regs[dst] = canonical(retValue, k);
+            frames_.back().rsh[dst] = retShadow;
+            setProv(dst, retProv);
+        }
+        // Resume after the call instruction.
+        frames_.back().ip++;
+    }
+
+    //===------------------------------------------------------------===//
+    // Outcome helpers
+    //===------------------------------------------------------------===//
+
+    void
+    report(ReportKind kind, SourceLoc loc)
+    {
+        result_.kind = ExecResult::Kind::Report;
+        result_.report = kind;
+        result_.reportLoc = loc;
+        done_ = true;
+    }
+
+    void
+    trap(TrapKind kind, SourceLoc loc)
+    {
+        result_.kind = ExecResult::Kind::Trap;
+        result_.trap = kind;
+        result_.trapLoc = loc;
+        done_ = true;
+    }
+
+    //===------------------------------------------------------------===//
+    // Operand evaluation
+    //===------------------------------------------------------------===//
+
+    uint64_t
+    val(const Value &v)
+    {
+        if (v.isImm())
+            return v.imm;
+        UBF_ASSERT(v.isReg(), "evaluating empty operand");
+        return frames_.back().regs[v.reg];
+    }
+
+    uint8_t
+    shadow(const Value &v)
+    {
+        if (!trackShadow_ || !v.isReg())
+            return 0;
+        return frames_.back().rsh[v.reg];
+    }
+
+    void
+    setReg(uint32_t dst, uint64_t value, uint8_t sh)
+    {
+        Frame &f = frames_.back();
+        f.regs[dst] = value;
+        if (trackShadow_)
+            f.rsh[dst] = sh;
+        if (opts_.groundTruth)
+            f.prov[dst] = 0;
+    }
+
+    //===------------------------------------------------------------===//
+    // The interpreter
+    //===------------------------------------------------------------===//
+
+    SourceLoc curLoc_;
+
+    void
+    recordTrace(SourceLoc loc)
+    {
+        if (!opts_.recordTrace || !loc.isValid())
+            return;
+        if (!result_.trace.empty() && result_.trace.back() == loc)
+            return;
+        result_.trace.push_back(loc);
+    }
+
+    void
+    step()
+    {
+        Frame &f = frames_.back();
+        const Inst &inst = f.fn->blocks[f.block].insts[f.ip];
+        result_.steps++;
+        if (inst.loc.isValid())
+            curLoc_ = inst.loc;
+        recordTrace(inst.loc);
+
+        switch (inst.op) {
+          case Opcode::Nop:
+          case Opcode::LogScopeEnter:
+          case Opcode::LogScopeExit:
+            if (opts_.profile &&
+                (inst.op == Opcode::LogScopeEnter ||
+                 inst.op == Opcode::LogScopeExit)) {
+                opts_.profile->scopes.push_back(
+                    {val(inst.a), inst.op == Opcode::LogScopeEnter,
+                     ++opts_.profile->eventSeq});
+            }
+            f.ip++;
+            break;
+          case Opcode::Const:
+            setReg(inst.dst, canonical(inst.imm, inst.kind), 0);
+            f.ip++;
+            break;
+          case Opcode::Cast: {
+            uint64_t p = provOf(inst.a);
+            setReg(inst.dst, canonical(val(inst.a), inst.kind),
+                   shadow(inst.a));
+            setProv(inst.dst, p);
+            f.ip++;
+            break;
+          }
+          case Opcode::Select: {
+            bool c = val(inst.c) != 0;
+            const Value &pick = c ? inst.a : inst.b;
+            uint64_t p = provOf(pick);
+            setReg(inst.dst, canonical(val(pick), inst.kind),
+                   static_cast<uint8_t>(shadow(pick) | shadow(inst.c)));
+            setProv(inst.dst, p);
+            f.ip++;
+            break;
+          }
+          case Opcode::Bin:
+            execBin(inst);
+            break;
+          case Opcode::FrameAddr:
+            setReg(inst.dst, objects_[f.objIds[inst.object] - 1].base, 0);
+            setProv(inst.dst, f.objIds[inst.object]);
+            f.ip++;
+            break;
+          case Opcode::GlobalAddr:
+            setReg(inst.dst, globalAddrs_[inst.object], 0);
+            setProv(inst.dst, globalObjIds_[inst.object]);
+            f.ip++;
+            break;
+          case Opcode::Gep: {
+            uint64_t base = val(inst.a);
+            int64_t idx = static_cast<int64_t>(val(inst.b));
+            if (opts_.groundTruth &&
+                (shadow(inst.a) || shadow(inst.b))) {
+                report(ReportKind::UninitValue, inst.loc);
+                return;
+            }
+            uint64_t addr =
+                base + static_cast<uint64_t>(
+                           idx * static_cast<int64_t>(inst.imm));
+            uint64_t p = provOf(inst.a);
+            setReg(inst.dst, addr,
+                   static_cast<uint8_t>(shadow(inst.a) |
+                                        shadow(inst.b)));
+            setProv(inst.dst, p);
+            f.ip++;
+            break;
+          }
+          case Opcode::Load:
+            execLoad(inst);
+            break;
+          case Opcode::Store:
+            execStore(inst);
+            break;
+          case Opcode::MemCopy:
+            execMemCopy(inst);
+            break;
+          case Opcode::Br:
+            f.block = inst.targets[0];
+            f.ip = 0;
+            break;
+          case Opcode::CondBr: {
+            if (opts_.groundTruth && shadow(inst.a)) {
+                report(ReportKind::UninitValue, inst.loc);
+                return;
+            }
+            f.block = val(inst.a) != 0 ? inst.targets[0]
+                                       : inst.targets[1];
+            f.ip = 0;
+            break;
+          }
+          case Opcode::Ret: {
+            uint64_t rv = inst.a.isNone() ? 0 : val(inst.a);
+            uint8_t sh = inst.a.isNone() ? 0 : shadow(inst.a);
+            popFrame(rv, sh, provOf(inst.a));
+            break;
+          }
+          case Opcode::Call: {
+            std::vector<uint64_t> args;
+            std::vector<uint8_t> argShadow;
+            std::vector<uint64_t> argProv;
+            args.reserve(inst.args.size());
+            for (const Value &a : inst.args) {
+                args.push_back(val(a));
+                argShadow.push_back(shadow(a));
+                argProv.push_back(provOf(a));
+            }
+            // pushFrame does not advance ip: popFrame resumes after it.
+            pushFrame(inst.callee, args, argShadow, inst.dst, inst.kind,
+                      argProv);
+            break;
+          }
+          case Opcode::Malloc:
+            execMalloc(inst);
+            break;
+          case Opcode::Free:
+            execFree(inst);
+            break;
+          case Opcode::Checksum: {
+            uint64_t v = val(inst.a);
+            if (opts_.groundTruth && shadow(inst.a)) {
+                report(ReportKind::UninitValue, inst.loc);
+                return;
+            }
+            result_.checksum = (result_.checksum ^ v) *
+                               0x100000001b3ULL;
+            f.ip++;
+            break;
+          }
+          case Opcode::LogVal:
+            if (opts_.profile) {
+                opts_.profile->values[val(inst.a)].push_back(
+                    static_cast<int64_t>(val(inst.b)));
+            }
+            f.ip++;
+            break;
+          case Opcode::LogPtr:
+            if (opts_.profile) {
+                PtrRecord rec;
+                rec.address = val(inst.b);
+                if (Object *obj = resolveObject(rec.address)) {
+                    if (rec.address < obj->base + obj->size) {
+                        rec.objectId = obj->id;
+                        rec.objectBase = obj->base;
+                        rec.objectSize = obj->size;
+                        rec.objectKind = obj->kind;
+                        rec.objectState = obj->state;
+                    }
+                }
+                opts_.profile->pointers[val(inst.a)].push_back(rec);
+            }
+            f.ip++;
+            break;
+          case Opcode::LogBuf:
+            if (opts_.profile) {
+                BufRecord rec;
+                rec.address = val(inst.b);
+                rec.size = val(inst.c);
+                if (Object *obj = resolveObject(rec.address)) {
+                    rec.objectId = obj->id;
+                    rec.objectKind = obj->kind;
+                }
+                opts_.profile->buffers[val(inst.a)].push_back(rec);
+            }
+            f.ip++;
+            break;
+          case Opcode::LifetimeStart: {
+            Object &obj = objects_[f.objIds[inst.object] - 1];
+            obj.state = ObjectState::Live;
+            setPoison(obj.base, obj.size, kPoisonNone);
+            setMsanShadow(obj.base, obj.size, 1);
+            Segment &seg = stack_;
+            std::memset(seg.mem.data() + (obj.base - seg.base),
+                        kFillByte, obj.size);
+            f.ip++;
+            break;
+          }
+          case Opcode::LifetimeEnd: {
+            Object &obj = objects_[f.objIds[inst.object] - 1];
+            obj.state = ObjectState::ScopeEnded;
+            if (f.fn->frame[inst.object].redzone)
+                setPoison(obj.base, obj.size, kPoisonScope);
+            f.ip++;
+            break;
+          }
+          case Opcode::AsanCheck:
+            execAsanCheck(inst);
+            break;
+          case Opcode::UbsanArith:
+            execUbsanArith(inst);
+            break;
+          case Opcode::UbsanShift: {
+            int64_t count = static_cast<int64_t>(val(inst.b));
+            // flag = "negative counts only" (an injected check bug).
+            bool bad = inst.flag
+                           ? count < 0
+                           : (count < 0 ||
+                              count >= ast::scalarBits(inst.kind));
+            if (bad) {
+                report(ReportKind::ShiftOutOfBounds, inst.loc);
+                return;
+            }
+            f.ip++;
+            break;
+          }
+          case Opcode::UbsanDiv: {
+            uint64_t b = val(inst.b);
+            if (canonical(b, inst.kind) == 0) {
+                report(ReportKind::DivByZero, inst.loc);
+                return;
+            }
+            if (ast::scalarSigned(inst.kind)) {
+                int bits = ast::scalarBits(inst.kind);
+                int64_t minv = bits >= 64
+                                   ? INT64_MIN
+                                   : -(1LL << (bits - 1));
+                if (static_cast<int64_t>(val(inst.a)) == minv &&
+                    static_cast<int64_t>(canonical(b, inst.kind)) ==
+                        -1) {
+                    report(ReportKind::SignedIntegerOverflow, inst.loc);
+                    return;
+                }
+            }
+            f.ip++;
+            break;
+          }
+          case Opcode::UbsanNull:
+            if (val(inst.a) == 0) {
+                report(ReportKind::NullDeref, inst.loc);
+                return;
+            }
+            f.ip++;
+            break;
+          case Opcode::UbsanBounds: {
+            int64_t idx = static_cast<int64_t>(val(inst.a));
+            if (idx < 0 || static_cast<uint64_t>(idx) >= inst.imm) {
+                report(ReportKind::ArrayIndexOOB, inst.loc);
+                return;
+            }
+            f.ip++;
+            break;
+          }
+          case Opcode::MsanCheck:
+            if (m_.msan.enabled && shadow(inst.a)) {
+                report(ReportKind::UninitValue, inst.loc);
+                return;
+            }
+            f.ip++;
+            break;
+        }
+    }
+
+    //===------------------------------------------------------------===//
+    // Arithmetic
+    //===------------------------------------------------------------===//
+
+    uint8_t
+    binShadow(const Inst &inst)
+    {
+        if (!trackShadow_)
+            return 0;
+        uint8_t sh =
+            static_cast<uint8_t>(shadow(inst.a) | shadow(inst.b));
+        if (!sh)
+            return 0;
+        // MSan policy hooks (bug injection lives in the MSan pass; the
+        // VM merely obeys the compiled policy). Figure 12f: the buggy
+        // propagation path treats subtraction results as fully defined.
+        if (m_.msan.bugSubConstDefined && inst.binOp == ir::BinOp::Sub)
+            return 0;
+        if (m_.msan.bugAndDefined && inst.binOp == ir::BinOp::BitAnd)
+            return 0;
+        return sh;
+    }
+
+    void
+    execBin(const Inst &inst)
+    {
+        Frame &f = frames_.back();
+        ScalarKind k = inst.kind;
+        uint64_t a = canonical(val(inst.a), k);
+        uint64_t b = canonical(val(inst.b), k);
+        bool sgn = ast::scalarSigned(k);
+        int bits = ast::scalarBits(k);
+
+        // Ground truth: flag marks source-level arithmetic.
+        if (opts_.groundTruth && inst.flag && sgn &&
+            ast::isArithOp(inst.binOp)) {
+            __int128 wa = static_cast<int64_t>(a);
+            __int128 wb = static_cast<int64_t>(b);
+            __int128 r = inst.binOp == ir::BinOp::Add   ? wa + wb
+                         : inst.binOp == ir::BinOp::Sub ? wa - wb
+                                                        : wa * wb;
+            __int128 lo = -(static_cast<__int128>(1) << (bits - 1));
+            __int128 hi = (static_cast<__int128>(1) << (bits - 1)) - 1;
+            if (r < lo || r > hi) {
+                report(ReportKind::SignedIntegerOverflow, inst.loc);
+                return;
+            }
+        }
+        if (opts_.groundTruth && inst.flag &&
+            ast::isShiftOp(inst.binOp)) {
+            int64_t count = static_cast<int64_t>(val(inst.b));
+            if (count < 0 || count >= bits) {
+                report(ReportKind::ShiftOutOfBounds, inst.loc);
+                return;
+            }
+        }
+        if (opts_.groundTruth && inst.flag &&
+            ast::isDivRemOp(inst.binOp)) {
+            if (shadow(inst.a) || shadow(inst.b)) {
+                report(ReportKind::UninitValue, inst.loc);
+                return;
+            }
+            if (b == 0) {
+                report(ReportKind::DivByZero, inst.loc);
+                return;
+            }
+            if (sgn && bits >= 1) {
+                int64_t minv = bits >= 64 ? INT64_MIN
+                                          : -(1LL << (bits - 1));
+                if (static_cast<int64_t>(a) == minv &&
+                    static_cast<int64_t>(b) == -1) {
+                    report(ReportKind::SignedIntegerOverflow, inst.loc);
+                    return;
+                }
+            }
+        }
+
+        bool trapped = false;
+        uint64_t r = ir::evalBinary(inst.binOp, k, a, b, trapped);
+        if (trapped) {
+            // x86 #DE on division by zero and INT_MIN / -1.
+            trap(TrapKind::DivByZero, inst.loc);
+            return;
+        }
+        bool is_cmp = ast::isComparisonOp(inst.binOp);
+        setReg(inst.dst,
+               is_cmp ? (r ? 1 : 0) : canonical(r, k),
+               binShadow(inst));
+        if (opts_.groundTruth && !is_cmp) {
+            // Pointer provenance survives arithmetic with a
+            // non-pointer operand (p + k); it dies when both operands
+            // carry provenance (p - q is a count, not a pointer).
+            uint64_t pa = provOf(inst.a), pb = provOf(inst.b);
+            if ((pa != 0) != (pb != 0))
+                setProv(inst.dst, pa ? pa : pb);
+        }
+        f.ip++;
+    }
+
+    static uint64_t
+    maskOf(int bits)
+    {
+        return bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+    }
+
+    //===------------------------------------------------------------===//
+    // Memory access
+    //===------------------------------------------------------------===//
+
+    /** Ground-truth precise access check. @return true when reported. */
+    bool
+    preciseCheck(uint64_t addr, uint64_t size, SourceLoc loc,
+                 uint64_t prov = 0)
+    {
+        if (!opts_.groundTruth)
+            return false;
+        if (addr < kNullGuard) {
+            report(ReportKind::NullDeref, loc);
+            return true;
+        }
+        Object *obj = prov ? objectById(prov) : resolveObject(addr);
+        if (prov && (addr < obj->base)) {
+            // Underflow of the derived-from object.
+            report(obj->kind == ObjectKind::Stack
+                       ? ReportKind::StackBufferOverflow
+                   : obj->kind == ObjectKind::Heap
+                       ? ReportKind::HeapBufferOverflow
+                       : ReportKind::GlobalBufferOverflow,
+                   loc);
+            return true;
+        }
+        if (!obj || addr >= obj->base + obj->size + (prov ? 0 : 256)) {
+            if (prov) {
+                Object *o = objectById(prov);
+                report(o->kind == ObjectKind::Stack
+                           ? ReportKind::StackBufferOverflow
+                       : o->kind == ObjectKind::Heap
+                           ? ReportKind::HeapBufferOverflow
+                           : ReportKind::GlobalBufferOverflow,
+                       loc);
+                return true;
+            }
+            // Far from any object: classify by segment.
+            report(ReportKind::GlobalBufferOverflow, loc);
+            return true;
+        }
+        ReportKind overflow_kind =
+            obj->kind == ObjectKind::Stack
+                ? ReportKind::StackBufferOverflow
+            : obj->kind == ObjectKind::Heap
+                ? ReportKind::HeapBufferOverflow
+                : ReportKind::GlobalBufferOverflow;
+        if (addr + size > obj->base + obj->size) {
+            report(overflow_kind, loc);
+            return true;
+        }
+        if (obj->state == ObjectState::Freed) {
+            report(ReportKind::HeapUseAfterFree, loc);
+            return true;
+        }
+        if (obj->state == ObjectState::ScopeEnded) {
+            report(ReportKind::StackUseAfterScope, loc);
+            return true;
+        }
+        return false;
+    }
+
+    void
+    execLoad(const Inst &inst)
+    {
+        Frame &f = frames_.back();
+        uint64_t addr = val(inst.a);
+        uint64_t size = inst.imm;
+        if (shadow(inst.a) && opts_.groundTruth) {
+            report(ReportKind::UninitValue, inst.loc);
+            return;
+        }
+        if (preciseCheck(addr, size, inst.loc, provOf(inst.a)))
+            return;
+        if (addr < kNullGuard) {
+            trap(TrapKind::Segfault, inst.loc);
+            return;
+        }
+        Segment *seg = segmentFor(addr, size);
+        if (!seg) {
+            trap(TrapKind::Segfault, inst.loc);
+            return;
+        }
+        uint64_t raw = 0;
+        std::memcpy(&raw, seg->mem.data() + (addr - seg->base),
+                    std::min<uint64_t>(size, 8));
+        uint8_t sh = 0;
+        if (trackShadow_) {
+            for (uint64_t i = 0; i < size; i++)
+                sh |= seg->msh[addr - seg->base + i];
+        }
+        setReg(inst.dst, canonical(raw, inst.kind), sh);
+        if (opts_.groundTruth && size == 8) {
+            auto it = memProv_.find(addr);
+            if (it != memProv_.end())
+                setProv(inst.dst, it->second);
+        }
+        f.ip++;
+    }
+
+    void
+    execStore(const Inst &inst)
+    {
+        Frame &f = frames_.back();
+        uint64_t addr = val(inst.a);
+        uint64_t size = inst.imm;
+        if (shadow(inst.a) && opts_.groundTruth) {
+            report(ReportKind::UninitValue, inst.loc);
+            return;
+        }
+        if (preciseCheck(addr, size, inst.loc, provOf(inst.a)))
+            return;
+        if (addr < kNullGuard) {
+            trap(TrapKind::Segfault, inst.loc);
+            return;
+        }
+        Segment *seg = segmentFor(addr, size);
+        if (!seg) {
+            trap(TrapKind::Segfault, inst.loc);
+            return;
+        }
+        uint64_t v = val(inst.b);
+        std::memcpy(seg->mem.data() + (addr - seg->base), &v,
+                    std::min<uint64_t>(size, 8));
+        if (trackShadow_)
+            setMsanShadow(addr, size, shadow(inst.b));
+        if (opts_.groundTruth) {
+            uint64_t p = provOf(inst.b);
+            if (p && size == 8)
+                memProv_[addr] = p;
+            else
+                memProv_.erase(addr);
+        }
+        f.ip++;
+    }
+
+    void
+    execMemCopy(const Inst &inst)
+    {
+        Frame &f = frames_.back();
+        uint64_t dst = val(inst.a);
+        uint64_t src = val(inst.b);
+        uint64_t size = inst.imm;
+        if (preciseCheck(src, size, inst.loc, provOf(inst.b)) ||
+            preciseCheck(dst, size, inst.loc, provOf(inst.a)))
+            return;
+        if (dst < kNullGuard || src < kNullGuard) {
+            trap(TrapKind::Segfault, inst.loc);
+            return;
+        }
+        Segment *sseg = segmentFor(src, size);
+        Segment *dseg = segmentFor(dst, size);
+        if (!sseg || !dseg) {
+            trap(TrapKind::Segfault, inst.loc);
+            return;
+        }
+        std::memmove(dseg->mem.data() + (dst - dseg->base),
+                     sseg->mem.data() + (src - sseg->base), size);
+        if (trackShadow_) {
+            std::memmove(dseg->msh.data() + (dst - dseg->base),
+                         sseg->msh.data() + (src - sseg->base), size);
+        }
+        if (opts_.groundTruth) {
+            // Move pointer provenance along with the bytes.
+            memProv_.erase(memProv_.lower_bound(dst),
+                           memProv_.lower_bound(dst + size));
+            std::vector<std::pair<uint64_t, uint64_t>> moved;
+            for (auto it = memProv_.lower_bound(src);
+                 it != memProv_.end() && it->first < src + size; ++it)
+                moved.emplace_back(it->first - src + dst, it->second);
+            for (const auto &[a, p] : moved)
+                memProv_[a] = p;
+        }
+        f.ip++;
+    }
+
+    void
+    execMalloc(const Inst &inst)
+    {
+        Frame &f = frames_.back();
+        uint64_t size = std::max<uint64_t>(val(inst.a), 1);
+        uint32_t rz = m_.asanHeap ? kHeapRedzone : 0;
+        uint64_t off = heap_.mem.size();
+        off = (off + 15) / 16 * 16;
+        uint64_t total = rz + size + rz;
+        if (off + total > kHeapCapacity) {
+            trap(TrapKind::OutOfMemory, inst.loc);
+            return;
+        }
+        heap_.grow(off + total);
+        uint64_t base = kHeapBase + off + rz;
+        uint64_t id = registerObject(base, size, ObjectKind::Heap, 0);
+        setMsanShadow(base, size, 1);
+        if (rz) {
+            setPoison(base - rz, rz, kPoisonHeapRz);
+            setPoison(base + size, rz, kPoisonHeapRz);
+        }
+        if (opts_.profile) {
+            opts_.profile->heapAllocs.push_back(
+                {id, base, size, ++opts_.profile->eventSeq, 0});
+        }
+        setReg(inst.dst, base, 0);
+        setProv(inst.dst, id);
+        f.ip++;
+    }
+
+    void
+    execFree(const Inst &inst)
+    {
+        Frame &f = frames_.back();
+        uint64_t addr = val(inst.a);
+        if (addr == 0) { // free(NULL) is a no-op
+            f.ip++;
+            return;
+        }
+        auto it = byBase_.find(addr);
+        Object *obj =
+            it == byBase_.end() ? nullptr : objectById(it->second);
+        if (!obj || obj->kind != ObjectKind::Heap ||
+            obj->state != ObjectState::Live) {
+            trap(TrapKind::InvalidFree, inst.loc);
+            return;
+        }
+        obj->state = ObjectState::Freed;
+        if (m_.asanHeap)
+            setPoison(obj->base, obj->size, kPoisonFreed);
+        if (opts_.profile) {
+            for (auto &rec : opts_.profile->heapAllocs) {
+                if (rec.objectId == obj->id && rec.freeSeq == 0)
+                    rec.freeSeq = ++opts_.profile->eventSeq;
+            }
+        }
+        f.ip++;
+    }
+
+    void
+    execAsanCheck(const Inst &inst)
+    {
+        Frame &f = frames_.back();
+        uint64_t addr = val(inst.a);
+        uint64_t size = inst.imm;
+        Segment *seg = segmentFor(addr, size);
+        if (seg) {
+            for (uint64_t i = 0; i < size; i++) {
+                uint8_t code = seg->poison[addr - seg->base + i];
+                if (code == kPoisonNone)
+                    continue;
+                ReportKind kind;
+                switch (code) {
+                  case kPoisonStackRz:
+                    kind = ReportKind::StackBufferOverflow;
+                    break;
+                  case kPoisonGlobalRz:
+                    kind = ReportKind::GlobalBufferOverflow;
+                    break;
+                  case kPoisonHeapRz:
+                    kind = ReportKind::HeapBufferOverflow;
+                    break;
+                  case kPoisonFreed:
+                    kind = ReportKind::HeapUseAfterFree;
+                    break;
+                  default:
+                    kind = ReportKind::StackUseAfterScope;
+                    break;
+                }
+                report(kind, inst.loc);
+                return;
+            }
+        }
+        f.ip++;
+    }
+
+    void
+    execUbsanArith(const Inst &inst)
+    {
+        Frame &f = frames_.back();
+        ScalarKind k = inst.kind;
+        if (!ast::scalarSigned(k)) {
+            f.ip++;
+            return;
+        }
+        int bits = ast::scalarBits(k);
+        __int128 a = static_cast<int64_t>(canonical(val(inst.a), k));
+        __int128 b = static_cast<int64_t>(canonical(val(inst.b), k));
+        __int128 r = inst.binOp == ir::BinOp::Add   ? a + b
+                     : inst.binOp == ir::BinOp::Sub ? a - b
+                                                    : a * b;
+        __int128 lo = -(static_cast<__int128>(1) << (bits - 1));
+        __int128 hi = (static_cast<__int128>(1) << (bits - 1)) - 1;
+        if (r < lo || r > hi) {
+            report(ReportKind::SignedIntegerOverflow, inst.loc);
+            return;
+        }
+        f.ip++;
+    }
+
+    const ir::Module &m_;
+    const ExecOptions &opts_;
+    Segment globals_, stack_, heap_;
+    std::vector<Object> objects_;
+    std::map<uint64_t, uint64_t> byBase_;
+    uint64_t nextObjectId_ = 1;
+    bool trackShadow_ = false;
+    ExecResult result_;
+    bool done_ = false;
+};
+
+} // namespace
+
+ExecResult
+execute(const ir::Module &module, const ExecOptions &opts)
+{
+    return Machine(module, opts).run();
+}
+
+} // namespace ubfuzz::vm

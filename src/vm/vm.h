@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The execution engine for compiled IR modules.
+ *
+ * The VM plays three roles from the paper's toolchain:
+ *  - the *machine* that runs compiled binaries (memory, traps, exit code),
+ *  - the *sanitizer runtime* (shadow memory for ASan poisoning and MSan
+ *    definedness; executing the check instructions the passes inserted),
+ *  - the *debugger* (LLDB in the paper): with tracing enabled it records
+ *    the (line, offset) of every executed instruction, which is exactly
+ *    what Algorithm 2's GetExecutedSites needs.
+ *
+ * Memory model: three segments (globals / stack / heap) backed by flat
+ * byte arrays. Out-of-bounds accesses inside a mapped segment behave
+ * like real hardware — they read or corrupt neighbouring bytes silently
+ * — while accesses outside any segment (or to page zero) raise a
+ * hardware trap. Uninitialized memory reads produce the deterministic
+ * fill pattern 0xAA.
+ */
+
+#ifndef UBFUZZ_VM_VM_H
+#define UBFUZZ_VM_VM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "support/source_loc.h"
+#include "vm/profile_data.h"
+
+namespace ubfuzz::vm {
+
+/** What a sanitizer (or the ground-truth checker) reported. */
+enum class ReportKind : uint8_t {
+    None,
+    StackBufferOverflow,
+    GlobalBufferOverflow,
+    HeapBufferOverflow,
+    HeapUseAfterFree,
+    StackUseAfterScope,
+    NullDeref,
+    SignedIntegerOverflow,
+    ShiftOutOfBounds,
+    DivByZero,
+    ArrayIndexOOB,
+    UninitValue,
+};
+
+const char *reportKindName(ReportKind k);
+
+/** Hardware-level failure of an unchecked execution. */
+enum class TrapKind : uint8_t {
+    None,
+    Segfault,
+    DivByZero,
+    StackOverflow,
+    InvalidFree,
+    OutOfMemory,
+};
+
+const char *trapKindName(TrapKind k);
+
+/** Execution options. */
+struct ExecOptions
+{
+    /** Maximum executed instructions before Timeout. */
+    uint64_t stepLimit = 4'000'000;
+    /** Record executed (line, offset) sites (the "debugger"). */
+    bool recordTrace = false;
+    /** Collect __log_* profiling records into `profile`. */
+    RawProfile *profile = nullptr;
+    /**
+     * Ground-truth mode: precise object-based memory checking plus
+     * always-on arithmetic/shift/division/uninit checking, independent
+     * of any sanitizer instrumentation. Used to decide "does this
+     * program actually contain UB on this input" (Table 4) and to
+     * validate UBGen's output.
+     */
+    bool groundTruth = false;
+};
+
+/** The outcome of one execution. */
+struct ExecResult
+{
+    enum class Kind : uint8_t { Clean, Report, Trap, Timeout };
+    Kind kind = Kind::Clean;
+
+    /** Sanitizer report details (kind == Report). */
+    ReportKind report = ReportKind::None;
+    SourceLoc reportLoc;
+
+    /** Trap details (kind == Trap). */
+    TrapKind trap = TrapKind::None;
+    SourceLoc trapLoc;
+
+    int64_t exitCode = 0;
+    uint64_t checksum = 0;
+    uint64_t steps = 0;
+
+    /** Executed sites in order (consecutive duplicates collapsed). */
+    std::vector<SourceLoc> trace;
+
+    bool crashed() const { return kind == Kind::Report; }
+    bool cleanOrTrap() const
+    {
+        return kind == Kind::Clean || kind == Kind::Trap;
+    }
+
+    /** The crash site per Definition 2 (only valid when crashed()). */
+    SourceLoc
+    crashSite() const
+    {
+        return reportLoc;
+    }
+
+    std::string str() const;
+};
+
+/** Execute @p module (from its main function). */
+ExecResult execute(const ir::Module &module, const ExecOptions &opts = {});
+
+} // namespace ubfuzz::vm
+
+#endif // UBFUZZ_VM_VM_H

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Optimizer pass tests: each pass individually on crafted programs,
+ * pipeline behaviour per level/vendor, and UB-elimination semantics
+ * (the "optimizers assume no UB" behaviour of §1 Challenge 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "frontend/parser.h"
+#include "ir/lowering.h"
+#include "opt/pass.h"
+#include "vm/vm.h"
+
+namespace ubfuzz::opt {
+namespace {
+
+ir::Module
+lower(const std::string &src)
+{
+    auto prog = frontend::parseOrDie(src);
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    return ir::lowerProgram(*prog, printed.map);
+}
+
+size_t
+countOp(const ir::Module &m, ir::Opcode op)
+{
+    size_t n = 0;
+    for (const auto &f : m.functions)
+        for (const auto &bb : f.blocks)
+            for (const auto &inst : bb.insts)
+                n += inst.op == op ? 1 : 0;
+    return n;
+}
+
+size_t
+countBin(const ir::Module &m)
+{
+    return countOp(m, ir::Opcode::Bin);
+}
+
+TEST(ConstFold, FoldsLiteralArithmetic)
+{
+    ir::Module m = lower("int main(void) { return 2 + 3 * 4; }");
+    size_t before = countBin(m);
+    ASSERT_GT(before, 0u);
+    auto fold = createConstFold();
+    auto dce = createDCE();
+    for (auto &f : m.functions) {
+        fold->run(m, f);
+        fold->run(m, f);
+        dce->run(m, f);
+    }
+    EXPECT_EQ(countBin(m), 0u);
+    EXPECT_EQ(vm::execute(m).exitCode, 14);
+}
+
+TEST(ConstFold, NeverFoldsTrappingDivision)
+{
+    ir::Module m = lower("int main(void) { return 7 / 0; }");
+    auto fold = createConstFold();
+    for (auto &f : m.functions)
+        fold->run(m, f);
+    // The division must survive folding and still trap at runtime.
+    EXPECT_GT(countBin(m), 0u);
+    EXPECT_EQ(vm::execute(m).kind, vm::ExecResult::Kind::Trap);
+}
+
+TEST(ConstFold, FoldsConstantBranches)
+{
+    ir::Module m = lower(R"(int main(void) {
+    if (0) {
+        return 1;
+    }
+    return 2;
+}
+)");
+    size_t cond_before = countOp(m, ir::Opcode::CondBr);
+    ASSERT_GT(cond_before, 0u);
+    auto fold = createConstFold();
+    for (auto &f : m.functions)
+        fold->run(m, f);
+    EXPECT_EQ(countOp(m, ir::Opcode::CondBr), 0u);
+    EXPECT_EQ(vm::execute(m).exitCode, 2);
+}
+
+TEST(Peephole, LlvmReassociationFoldsConstants)
+{
+    // ((x + c1) + c2): LLVM folds c1+c2; GCC's flavour does not.
+    const char *src = R"(int x = 5;
+int main(void) {
+    return (x + 3) + 4;
+}
+)";
+    ir::Module mllvm = lower(src);
+    auto peep_llvm = createPeephole(Vendor::LLVM);
+    bool changed = false;
+    for (auto &f : mllvm.functions)
+        changed |= peep_llvm->run(mllvm, f);
+    EXPECT_TRUE(changed);
+    EXPECT_EQ(vm::execute(mllvm).exitCode, 12);
+
+    ir::Module mgcc = lower(src);
+    auto peep_gcc = createPeephole(Vendor::GCC);
+    for (auto &f : mgcc.functions)
+        peep_gcc->run(mgcc, f);
+    EXPECT_EQ(vm::execute(mgcc).exitCode, 12);
+}
+
+TEST(Peephole, MulByZeroKillsValue)
+{
+    ir::Module m = lower(R"(int x = 9;
+int main(void) {
+    return x * 0;
+}
+)");
+    auto peep = createPeephole(Vendor::GCC);
+    auto dce = createDCE();
+    bool changed = false;
+    for (auto &f : m.functions) {
+        changed |= peep->run(m, f);
+        dce->run(m, f);
+    }
+    EXPECT_TRUE(changed);
+    // The load of x is dead after x*0 -> 0.
+    EXPECT_EQ(countOp(m, ir::Opcode::Load), 0u);
+    EXPECT_EQ(vm::execute(m).exitCode, 0);
+}
+
+TEST(StoreForward, ForwardsStoresAndElidesLoads)
+{
+    ir::Module m = lower(R"(int main(void) {
+    int x = 41;
+    int y = x + 1;
+    return y;
+}
+)");
+    size_t loads_before = countOp(m, ir::Opcode::Load);
+    auto fwd = createStoreForward();
+    auto fold = createConstFold();
+    auto dce = createDCE();
+    for (auto &f : m.functions) {
+        fwd->run(m, f);
+        fold->run(m, f);
+        dce->run(m, f);
+    }
+    EXPECT_LT(countOp(m, ir::Opcode::Load), loads_before);
+    EXPECT_EQ(vm::execute(m).exitCode, 42);
+}
+
+TEST(DSE, RemovesDeadOOBStore)
+{
+    // The Figure 3 transform: a write-only local array's OOB store
+    // disappears — and with it, the UB.
+    ir::Module m = lower(R"(int main(void) {
+    int d[2];
+    int i = 2;
+    d[i] = 1;
+    return 0;
+}
+)");
+    vm::ExecOptions gt;
+    gt.groundTruth = true;
+    EXPECT_EQ(vm::execute(m, gt).kind, vm::ExecResult::Kind::Report);
+
+    auto dse = createDSE();
+    bool changed = false;
+    for (auto &f : m.functions)
+        changed |= dse->run(m, f);
+    EXPECT_TRUE(changed);
+    EXPECT_EQ(vm::execute(m, gt).kind, vm::ExecResult::Kind::Clean);
+}
+
+TEST(DSE, KeepsObservableStores)
+{
+    ir::Module m = lower(R"(int g[2];
+int main(void) {
+    g[0] = 7;
+    __checksum((long)g[0]);
+    return g[0];
+}
+)");
+    auto dse = createDSE();
+    for (auto &f : m.functions)
+        dse->run(m, f);
+    EXPECT_EQ(vm::execute(m).exitCode, 7);
+}
+
+TEST(SimplifyCFG, PrunesUnreachableUB)
+{
+    ir::Module m = lower(R"(int z = 0;
+int main(void) {
+    if (1) {
+        return 3;
+    }
+    return 5 / z;
+}
+)");
+    auto fold = createConstFold();
+    auto simp = createSimplifyCFG();
+    for (auto &f : m.functions) {
+        fold->run(m, f);
+        simp->run(m, f);
+    }
+    // The division is unreachable and must be gone.
+    bool has_div = false;
+    for (const auto &f : m.functions)
+        for (const auto &bb : f.blocks)
+            for (const auto &inst : bb.insts)
+                has_div |= inst.op == ir::Opcode::Bin &&
+                           inst.binOp == ast::BinaryOp::Div;
+    EXPECT_FALSE(has_div);
+    EXPECT_EQ(vm::execute(m).exitCode, 3);
+}
+
+TEST(LifetimeHoist, RemovesLoopLocalMarkers)
+{
+    ir::Module m = lower(R"(int g = 0;
+int *p = &g;
+int main(void) {
+    for (int i = 0; i < 3; i += 1) {
+        int inner = i;
+        p = &inner;
+    }
+    return *p;
+}
+)");
+    size_t markers_before = countOp(m, ir::Opcode::LifetimeStart) +
+                            countOp(m, ir::Opcode::LifetimeEnd);
+    ASSERT_GT(markers_before, 0u);
+    auto hoist = createLifetimeHoist();
+    bool changed = false;
+    for (auto &f : m.functions)
+        changed |= hoist->run(m, f);
+    EXPECT_TRUE(changed);
+    size_t markers_after = countOp(m, ir::Opcode::LifetimeStart) +
+                           countOp(m, ir::Opcode::LifetimeEnd);
+    EXPECT_LT(markers_after, markers_before);
+}
+
+/** Pipelines at every (vendor, level) preserve semantics of valid
+ *  parsed programs — a hand-written complement to the generator
+ *  sweep. */
+class PipelineSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(PipelineSweep, PreservesSemantics)
+{
+    Vendor v = std::get<0>(GetParam()) ? Vendor::LLVM : Vendor::GCC;
+    OptLevel l = static_cast<OptLevel>(std::get<1>(GetParam()));
+    const char *src = R"(int a[5] = {3, 1, 4, 1, 5};
+int acc = 0;
+long mix(int n) {
+    long r = 1l;
+    for (int i = 0; i < n; i += 1) {
+        r = r * 3l + (long)a[i % 5];
+        if (r > 500l) {
+            r = r % 97l;
+        }
+    }
+    return r;
+}
+int main(void) {
+    acc = (int)mix(9);
+    int t = acc;
+    t = t << 2;
+    t = t ^ (acc & 5);
+    __checksum((long)t);
+    return t & 255;
+}
+)";
+    auto prog = frontend::parseOrDie(src);
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    ir::Module base = ir::lowerProgram(*prog, printed.map);
+    vm::ExecResult ref = vm::execute(base);
+    ASSERT_EQ(ref.kind, vm::ExecResult::Kind::Clean);
+
+    ir::Module m = ir::lowerProgram(*prog, printed.map);
+    auto pipeline = buildPipeline(v, l, Stage::EarlyOpt);
+    runPipeline(m, pipeline, 2);
+    auto late = buildPipeline(v, l, Stage::LateOpt);
+    runPipeline(m, late, 1);
+    ASSERT_EQ(ir::verifyModule(m), "");
+    vm::ExecResult r = vm::execute(m);
+    ASSERT_EQ(r.kind, vm::ExecResult::Kind::Clean);
+    EXPECT_EQ(r.exitCode, ref.exitCode)
+        << vendorName(v) << " " << optLevelName(l);
+    EXPECT_EQ(r.checksum, ref.checksum)
+        << vendorName(v) << " " << optLevelName(l);
+}
+
+INSTANTIATE_TEST_SUITE_P(VendorsLevels, PipelineSweep,
+                         ::testing::Combine(::testing::Range(0, 2),
+                                            ::testing::Range(0, 5)));
+
+} // namespace
+} // namespace ubfuzz::opt

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Crash-site mapping oracle tests: the true-bug case (Figure 1), the
+ * optimization case (Figure 3), and the differential runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "oracle/oracle.h"
+
+namespace ubfuzz::oracle {
+namespace {
+
+TEST(CrashSiteMapping, MembershipSemantics)
+{
+    std::vector<SourceLoc> trace = {{1, 0}, {2, 4}, {3, 8}, {2, 4}};
+    EXPECT_TRUE(crashSiteMapping({2, 4}, trace));
+    EXPECT_TRUE(crashSiteMapping({3, 8}, trace));
+    EXPECT_FALSE(crashSiteMapping({3, 9}, trace));
+    EXPECT_FALSE(crashSiteMapping({9, 0}, trace));
+    EXPECT_FALSE(crashSiteMapping({2, 4}, {}));
+}
+
+TEST(TestingMatrix, MatchesPaperSetup)
+{
+    // ASan and UBSan: both vendors x 5 levels.
+    EXPECT_EQ(testingMatrix(SanitizerKind::ASan).size(), 10u);
+    EXPECT_EQ(testingMatrix(SanitizerKind::UBSan).size(), 10u);
+    // MSan: LLVM only.
+    auto msan = testingMatrix(SanitizerKind::MSan);
+    EXPECT_EQ(msan.size(), 5u);
+    for (const auto &c : msan)
+        EXPECT_EQ(c.vendor, Vendor::LLVM);
+}
+
+/**
+ * Figure 1 analog: GCC ASan reports at -O0, misses at -O2 due to the
+ * injected struct-copy defect; the crash site is still executed at
+ * -O2, so the oracle says "sanitizer bug".
+ */
+TEST(Oracle, Figure1TrueBugIsSelected)
+{
+    auto prog = frontend::parseOrDie(R"(struct a {
+    int x;
+};
+struct a b[2];
+struct a *c = &b[0];
+struct a *d = &b[0];
+int k = 0;
+int main(void) {
+    *c = b[0];
+    k = 2;
+    *c = *(d + k);
+    return c->x;
+}
+)");
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    DifferentialResult diff = runDifferential(
+        *prog, printed, testingMatrix(SanitizerKind::ASan));
+    ASSERT_TRUE(diff.hasDiscrepancy());
+    EXPECT_TRUE(diff.anyBugVerdict());
+    // And the non-crashing binaries' logs confirm the injected bug.
+    bool confirmed = false;
+    for (const auto &v : diff.verdicts) {
+        if (!v.isBug)
+            continue;
+        for (const auto &f : diff.outcomes[v.nonCrashingIdx].log.firings)
+            confirmed |=
+                f.id == san::BugId::GccAsanStructCopyNoCheck ||
+                f.id == san::BugId::GccAsanGlobalPtrStoreNoCheck;
+    }
+    EXPECT_TRUE(confirmed);
+}
+
+/**
+ * Figure 3 analog: the dead OOB store is eliminated by optimization
+ * before the sanitizer pass. Discrepancy exists (-O0 reports, -O2
+ * does not) but the crash site is not executed at -O2, so the oracle
+ * must NOT flag a bug.
+ */
+TEST(Oracle, Figure3OptimizationIsRejected)
+{
+    auto prog = frontend::parseOrDie(R"(int main(void) {
+    int d[2];
+    int i = 2;
+    d[i] = 1;
+    return 0;
+}
+)");
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    DifferentialResult diff = runDifferential(
+        *prog, printed, testingMatrix(SanitizerKind::ASan));
+    ASSERT_TRUE(diff.hasDiscrepancy());
+    for (const auto &v : diff.verdicts) {
+        EXPECT_FALSE(v.isBug)
+            << diff.outcomes[v.nonCrashingIdx].config.str();
+        // Ground truth agrees: no injected bug fired.
+        EXPECT_TRUE(
+            diff.outcomes[v.nonCrashingIdx].log.firings.empty());
+    }
+}
+
+/** No discrepancy at all when every configuration reports. */
+TEST(Oracle, ConsistentReportsAreNoDiscrepancy)
+{
+    auto prog = frontend::parseOrDie(R"(int z = 0;
+int g = 7;
+int main(void) {
+    g = 100 / z;
+    return g;
+}
+)");
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    DifferentialResult diff = runDifferential(
+        *prog, printed, testingMatrix(SanitizerKind::UBSan));
+    int crashes = 0;
+    for (const auto &oc : diff.outcomes)
+        crashes += oc.result.crashed() ? 1 : 0;
+    EXPECT_EQ(crashes, static_cast<int>(diff.outcomes.size()));
+    EXPECT_FALSE(diff.hasDiscrepancy());
+}
+
+} // namespace
+} // namespace ubfuzz::oracle

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Support-layer tests: RNG determinism, coverage registry semantics,
+ * toolchain metadata, and the test-case reducer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "frontend/parser.h"
+#include "reduce/reducer.h"
+#include "support/coverage.h"
+#include "support/rng.h"
+#include "support/toolchain.h"
+
+namespace ubfuzz {
+namespace {
+
+TEST(Rng, DeterministicAndBounded)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; i++)
+        ASSERT_EQ(a.next(), b.next());
+    Rng r(7);
+    for (int i = 0; i < 1000; i++) {
+        EXPECT_LT(r.below(13), 13u);
+        int64_t v = r.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+    Rng c(42);
+    Rng child = c.fork();
+    EXPECT_NE(child.next(), Rng(42).next());
+}
+
+UBF_COV_DECLARE(testLine, "test.support.line");
+UBF_COV_DECLARE_FUNC(testFunc, "test.support.func");
+UBF_COV_DECLARE_BRANCH(testBranch, "test.support.branch");
+
+TEST(Coverage, RegistryCountsSitesAndHits)
+{
+    auto &reg = CoverageRegistry::instance();
+    reg.resetHits();
+    CovReport before = reg.report("test.support.");
+    EXPECT_EQ(before.lineTotal, 2u); // line + func-as-line
+    EXPECT_EQ(before.funcTotal, 1u);
+    EXPECT_EQ(before.branchTotal, 2u);
+    EXPECT_EQ(before.lineHit, 0u);
+
+    UBF_COV_HIT(testLine);
+    UBF_COV_HIT(testFunc);
+    UBF_COV_BRANCH(testBranch, true);
+    CovReport mid = reg.report("test.support.");
+    EXPECT_EQ(mid.lineHit, 2u);
+    EXPECT_EQ(mid.funcHit, 1u);
+    EXPECT_EQ(mid.branchHit, 1u);
+
+    UBF_COV_BRANCH(testBranch, false);
+    CovReport after = reg.report("test.support.");
+    EXPECT_EQ(after.branchHit, 2u);
+    EXPECT_DOUBLE_EQ(after.branchPct(), 100.0);
+}
+
+TEST(Toolchain, VersionsAndSupport)
+{
+    EXPECT_TRUE(vendorSupports(Vendor::LLVM, SanitizerKind::MSan));
+    EXPECT_FALSE(vendorSupports(Vendor::GCC, SanitizerKind::MSan));
+    EXPECT_EQ(trunkVersion(Vendor::GCC), 14);
+    EXPECT_EQ(trunkVersion(Vendor::LLVM), 18);
+    EXPECT_TRUE(optAtLeast(OptLevel::O2, OptLevel::Os));
+    EXPECT_FALSE(optAtLeast(OptLevel::O1, OptLevel::Os));
+}
+
+TEST(Reducer, ShrinksWhilePreservingPredicate)
+{
+    auto prog = frontend::parseOrDie(R"(int g = 3;
+int unused_global = 9;
+int helper(int x) {
+    return x * 2;
+}
+int main(void) {
+    int a = 1;
+    int b = 2;
+    g = a + b;
+    g = helper(g);
+    g = 7;
+    __checksum((long)g);
+    return g;
+}
+)");
+    // Predicate: main still ends with g == 7 (the final assignment).
+    auto predicate = [](const ast::Program &p) {
+        std::string text = ast::programText(p);
+        return text.find("g = 7;") != std::string::npos &&
+               text.find("return g;") != std::string::npos;
+    };
+    ASSERT_TRUE(predicate(*prog));
+    reduce::ReduceStats stats;
+    auto reduced = reduce::reduceProgram(*prog, predicate, &stats);
+    EXPECT_TRUE(predicate(*reduced));
+    EXPECT_GT(stats.statementsRemoved, 0);
+    std::string text = ast::programText(*reduced);
+    // The unused global and the helper are gone.
+    EXPECT_EQ(text.find("unused_global"), std::string::npos);
+    EXPECT_EQ(text.find("helper"), std::string::npos);
+    EXPECT_LT(text.size(), ast::programText(*prog).size());
+}
+
+TEST(Reducer, NeverBreaksValidity)
+{
+    auto prog = frontend::parseOrDie(R"(int a[3] = {1, 2, 3};
+int main(void) {
+    int x = a[0];
+    int y = x + a[1];
+    __checksum((long)y);
+    return y;
+}
+)");
+    auto predicate = [](const ast::Program &p) {
+        // Any candidate must still round-trip through the parser.
+        auto r = frontend::parseProgram(ast::programText(p));
+        return r.ok();
+    };
+    auto reduced = reduce::reduceProgram(*prog, predicate);
+    EXPECT_TRUE(predicate(*reduced));
+}
+
+} // namespace
+} // namespace ubfuzz

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Lowering + VM execution semantics: arithmetic, control flow, memory,
+ * traps, ground-truth UB detection, and execution tracing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "frontend/parser.h"
+#include "ir/lowering.h"
+#include "vm/vm.h"
+
+namespace ubfuzz {
+namespace {
+
+/** Compile a source string at "-O0, no sanitizer" and run it. */
+vm::ExecResult
+runSource(const std::string &src, vm::ExecOptions opts = {})
+{
+    auto prog = frontend::parseOrDie(src);
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    ir::Module mod = ir::lowerProgram(*prog, printed.map);
+    std::string verr = ir::verifyModule(mod);
+    EXPECT_EQ(verr, "") << ir::printModule(mod);
+    return vm::execute(mod, opts);
+}
+
+int64_t
+exitOf(const std::string &src)
+{
+    vm::ExecResult r = runSource(src);
+    EXPECT_EQ(r.kind, vm::ExecResult::Kind::Clean) << r.str();
+    return r.exitCode;
+}
+
+TEST(VM, ArithmeticAndConversions)
+{
+    EXPECT_EQ(exitOf("int main(void) { return 2 + 3 * 4; }"), 14);
+    EXPECT_EQ(exitOf("int main(void) { return 7 / 2; }"), 3);
+    EXPECT_EQ(exitOf("int main(void) { return -7 % 3; }"), -1);
+    EXPECT_EQ(exitOf("int main(void) { return 1 << 5; }"), 32);
+    EXPECT_EQ(exitOf("int main(void) { return -8 >> 1; }"), -4);
+    EXPECT_EQ(exitOf("int main(void) { char c = 200; return c; }"),
+              static_cast<int8_t>(200));
+    EXPECT_EQ(exitOf("int main(void) { unsigned char c = 200; "
+                     "return c; }"),
+              200);
+    // Unsigned comparison: 4000000000u > 1.
+    EXPECT_EQ(exitOf("int main(void) { unsigned int u = 4000000000u; "
+                     "return u > 1u; }"),
+              1);
+    // Mixed signed/unsigned comparison follows C: -1 converts to huge.
+    EXPECT_EQ(exitOf("int main(void) { int a = -1; unsigned int b = 1u; "
+                     "return a > b; }"),
+              1);
+}
+
+TEST(VM, ShortCircuitIsLazy)
+{
+    // Division by zero on the unevaluated side must not trap.
+    EXPECT_EQ(exitOf("int main(void) { int z = 0; int ok = 1; "
+                     "return (z != 0) && (10 / z > 0) ? 7 : ok; }"),
+              1);
+    EXPECT_EQ(exitOf("int main(void) { int z = 0; "
+                     "return (z == 0) || (10 / z > 0); }"),
+              1);
+}
+
+TEST(VM, SelectIsLazy)
+{
+    EXPECT_EQ(exitOf("int main(void) { int z = 0; "
+                     "return (z == 0) ? 5 : (10 / z); }"),
+              5);
+}
+
+TEST(VM, ControlFlow)
+{
+    EXPECT_EQ(exitOf(R"(int main(void) {
+    int s = 0;
+    for (int i = 0; i < 10; i += 1) {
+        if (i % 2 == 0) {
+            s += i;
+        }
+    }
+    return s;
+}
+)"),
+              20);
+    EXPECT_EQ(exitOf(R"(int main(void) {
+    int i = 0;
+    int n = 0;
+    while (1) {
+        i += 1;
+        if (i > 5) {
+            break;
+        }
+        if (i == 2) {
+            continue;
+        }
+        n += i;
+    }
+    return n;
+}
+)"),
+              13);
+}
+
+TEST(VM, ArraysPointersStructs)
+{
+    EXPECT_EQ(exitOf(R"(int a[5] = {1, 2, 3, 4, 5};
+int main(void) {
+    int *p = &a[1];
+    p[2] = 40;
+    return a[3] + *(p + 1) + a[0];
+}
+)"),
+              44);
+    EXPECT_EQ(exitOf(R"(struct S {
+    int x;
+    long y;
+};
+struct S s;
+struct S t;
+int main(void) {
+    s.x = 11;
+    s.y = 31l;
+    t = s;
+    return t.x + (int)t.y;
+}
+)"),
+              42);
+    // Pointer difference.
+    EXPECT_EQ(exitOf(R"(int a[8];
+int main(void) {
+    int *p = &a[6];
+    int *q = &a[2];
+    return (int)(p - q);
+}
+)"),
+              4);
+}
+
+TEST(VM, GlobalInitializersAndRelocations)
+{
+    EXPECT_EQ(exitOf(R"(int g = 5;
+int a[3] = {10, 20, 30};
+int *p = &a[1];
+int **pp = &p;
+int main(void) {
+    **pp = g;
+    return a[1];
+}
+)"),
+              5);
+}
+
+TEST(VM, FunctionsAndRecursion)
+{
+    EXPECT_EQ(exitOf(R"(int fib(int n) {
+    if (n < 2) {
+        return n;
+    }
+    return fib(n - 1) + fib(n - 2);
+}
+int main(void) {
+    return fib(10);
+}
+)"),
+              55);
+}
+
+TEST(VM, MallocFreeAndChecksum)
+{
+    vm::ExecResult r = runSource(R"(int main(void) {
+    long *p = (long*)__malloc(16l);
+    p[0] = 7l;
+    p[1] = 9l;
+    __checksum(p[0] + p[1]);
+    __free((char*)p);
+    return 0;
+}
+)");
+    EXPECT_EQ(r.kind, vm::ExecResult::Kind::Clean);
+    EXPECT_NE(r.checksum, 0u);
+}
+
+TEST(VM, HardwareTraps)
+{
+    // Unchecked division by zero traps like SIGFPE.
+    vm::ExecResult r1 = runSource(
+        "int main(void) { int z = 0; return 5 / z; }");
+    EXPECT_EQ(r1.kind, vm::ExecResult::Kind::Trap);
+    EXPECT_EQ(r1.trap, vm::TrapKind::DivByZero);
+
+    // Null dereference traps like SIGSEGV.
+    vm::ExecResult r2 = runSource(
+        "int main(void) { int *p = 0; return *p; }");
+    EXPECT_EQ(r2.kind, vm::ExecResult::Kind::Trap);
+    EXPECT_EQ(r2.trap, vm::TrapKind::Segfault);
+
+    // Small OOB inside a mapped segment is silent (like hardware).
+    vm::ExecResult r3 = runSource(R"(int a[4];
+int b[4];
+int main(void) {
+    int *p = &a[0];
+    return p[5] * 0;
+}
+)");
+    EXPECT_EQ(r3.kind, vm::ExecResult::Kind::Clean);
+}
+
+TEST(VM, InfiniteLoopTimesOut)
+{
+    vm::ExecOptions opts;
+    opts.stepLimit = 10000;
+    vm::ExecResult r = runSource("int main(void) { while (1) { } "
+                                 "return 0; }",
+                                 opts);
+    EXPECT_EQ(r.kind, vm::ExecResult::Kind::Timeout);
+}
+
+TEST(VM, UninitializedMemoryIsDeterministic)
+{
+    int64_t a = exitOf("int main(void) { int x; return x * 0 + 3; }");
+    int64_t b = exitOf("int main(void) { int x; return x * 0 + 3; }");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, 3);
+}
+
+//===--------------------------------------------------------------===//
+// Ground-truth UB detection (the reference checker used by Table 4)
+//===--------------------------------------------------------------===//
+
+vm::ExecResult
+runGroundTruth(const std::string &src)
+{
+    vm::ExecOptions opts;
+    opts.groundTruth = true;
+    return runSource(src, opts);
+}
+
+TEST(GroundTruth, DetectsStackBufferOverflow)
+{
+    vm::ExecResult r = runGroundTruth(R"(int main(void) {
+    int a[4];
+    int i = 4;
+    a[0] = 1;
+    return a[i];
+}
+)");
+    ASSERT_EQ(r.kind, vm::ExecResult::Kind::Report) << r.str();
+    EXPECT_EQ(r.report, vm::ReportKind::StackBufferOverflow);
+}
+
+TEST(GroundTruth, DetectsGlobalBufferOverflowViaPointer)
+{
+    vm::ExecResult r = runGroundTruth(R"(int b[2];
+int *d = &b[0];
+int k = 0;
+int main(void) {
+    k = 2;
+    return *(d + k);
+}
+)");
+    ASSERT_EQ(r.kind, vm::ExecResult::Kind::Report) << r.str();
+    EXPECT_EQ(r.report, vm::ReportKind::GlobalBufferOverflow);
+}
+
+TEST(GroundTruth, DetectsUseAfterFree)
+{
+    vm::ExecResult r = runGroundTruth(R"(int main(void) {
+    int *p = (int*)__malloc(8l);
+    *p = 1;
+    __free((char*)p);
+    return *p;
+}
+)");
+    ASSERT_EQ(r.kind, vm::ExecResult::Kind::Report) << r.str();
+    EXPECT_EQ(r.report, vm::ReportKind::HeapUseAfterFree);
+}
+
+TEST(GroundTruth, DetectsSignedOverflowAndShiftAndDiv)
+{
+    vm::ExecResult r1 = runGroundTruth(R"(int main(void) {
+    int x = 2147483647;
+    int y = 1;
+    return x + y;
+}
+)");
+    ASSERT_EQ(r1.kind, vm::ExecResult::Kind::Report) << r1.str();
+    EXPECT_EQ(r1.report, vm::ReportKind::SignedIntegerOverflow);
+
+    vm::ExecResult r2 = runGroundTruth(R"(int main(void) {
+    int x = 1;
+    int y = 40;
+    return x << y;
+}
+)");
+    ASSERT_EQ(r2.kind, vm::ExecResult::Kind::Report) << r2.str();
+    EXPECT_EQ(r2.report, vm::ReportKind::ShiftOutOfBounds);
+
+    vm::ExecResult r3 = runGroundTruth(R"(int main(void) {
+    int z = 0;
+    return 7 / z;
+}
+)");
+    ASSERT_EQ(r3.kind, vm::ExecResult::Kind::Report) << r3.str();
+    EXPECT_EQ(r3.report, vm::ReportKind::DivByZero);
+}
+
+TEST(GroundTruth, DetectsUninitUse)
+{
+    vm::ExecResult r = runGroundTruth(R"(int main(void) {
+    int x;
+    if (x > 0) {
+        return 1;
+    }
+    return 0;
+}
+)");
+    ASSERT_EQ(r.kind, vm::ExecResult::Kind::Report) << r.str();
+    EXPECT_EQ(r.report, vm::ReportKind::UninitValue);
+}
+
+TEST(GroundTruth, CleanProgramStaysClean)
+{
+    vm::ExecResult r = runGroundTruth(R"(int a[4] = {1, 2, 3, 4};
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 4; i += 1) {
+        s += a[i];
+    }
+    __checksum((long)s);
+    return s;
+}
+)");
+    EXPECT_EQ(r.kind, vm::ExecResult::Kind::Clean) << r.str();
+    EXPECT_EQ(r.exitCode, 10);
+}
+
+//===--------------------------------------------------------------===//
+// Tracing (the debugger of Algorithm 2)
+//===--------------------------------------------------------------===//
+
+TEST(Trace, RecordsExecutedSitesInOrder)
+{
+    vm::ExecOptions opts;
+    opts.recordTrace = true;
+    vm::ExecResult r = runSource(R"(int g = 0;
+int main(void) {
+    g = 1;
+    g = 2;
+    return g;
+}
+)",
+                                 opts);
+    ASSERT_EQ(r.kind, vm::ExecResult::Kind::Clean);
+    ASSERT_FALSE(r.trace.empty());
+    // Both assignment lines appear, in order.
+    bool saw3 = false, saw4 = false;
+    int32_t line3_pos = -1, line4_pos = -1;
+    for (size_t i = 0; i < r.trace.size(); i++) {
+        if (r.trace[i].line == 3 && !saw3) {
+            saw3 = true;
+            line3_pos = static_cast<int32_t>(i);
+        }
+        if (r.trace[i].line == 4 && !saw4) {
+            saw4 = true;
+            line4_pos = static_cast<int32_t>(i);
+        }
+    }
+    EXPECT_TRUE(saw3);
+    EXPECT_TRUE(saw4);
+    EXPECT_LT(line3_pos, line4_pos);
+}
+
+} // namespace
+} // namespace ubfuzz
