@@ -1,99 +1,121 @@
 /**
  * @file
- * Toolchain throughput micro-benchmarks (google-benchmark): the raw
- * rates behind the campaign — seed generation, printing + lowering,
- * full sanitizer compiles, VM execution, and UB program generation.
+ * Campaign throughput harness: how many UB programs per second the
+ * full pipeline (generate -> inject -> sanitizer matrix -> oracle)
+ * sustains, and how that scales with the worker pool.
+ *
+ *   ./build/bench/bench_throughput [--jobs N] [--seeds N] [--seed S]
+ *
+ * `--jobs 0` uses every hardware thread. The finding digest is
+ * invariant under --jobs: the orchestrator guarantees bit-identical
+ * results for any pool size, so two runs that differ only in --jobs
+ * must print the same programs/findings/digest lines.
  */
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
-#include "ast/printer.h"
-#include "compiler/compiler.h"
-#include "generator/generator.h"
-#include "ir/lowering.h"
-#include "support/rng.h"
-#include "ubgen/ubgen.h"
-#include "vm/vm.h"
+#include "fuzzer/orchestrator.h"
 
 using namespace ubfuzz;
 
-static void
-BM_GenerateSeed(benchmark::State &state)
-{
-    uint64_t seed = 1;
-    for (auto _ : state) {
-        gen::GeneratorConfig cfg;
-        cfg.seed = seed++;
-        auto prog = gen::generateProgram(cfg);
-        benchmark::DoNotOptimize(prog);
-    }
-}
-BENCHMARK(BM_GenerateSeed);
+namespace {
 
-static void
-BM_PrintAndLower(benchmark::State &state)
+/** Order-independent digest of the findings (FNV-1a over sorted keys). */
+uint64_t
+findingsDigest(const fuzzer::CampaignStats &stats)
 {
-    gen::GeneratorConfig cfg;
-    cfg.seed = 42;
-    auto prog = gen::generateProgram(cfg);
-    for (auto _ : state) {
-        ast::PrintedProgram printed = ast::printProgram(*prog);
-        ir::Module mod = ir::lowerProgram(*prog, printed.map);
-        benchmark::DoNotOptimize(mod);
+    std::vector<fuzzer::FindingRecord> findings = stats.findings;
+    std::sort(findings.begin(), findings.end());
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t v) {
+        h = (h ^ v) * 0x100000001b3ULL;
+    };
+    for (const auto &f : findings) {
+        mix(static_cast<uint64_t>(f.kind));
+        mix(static_cast<uint64_t>(f.crashing.vendor));
+        mix(static_cast<uint64_t>(f.crashing.level));
+        mix(static_cast<uint64_t>(f.crashing.sanitizer));
+        mix(static_cast<uint64_t>(f.missing.vendor));
+        mix(static_cast<uint64_t>(f.missing.level));
+        mix(static_cast<uint64_t>(f.missing.sanitizer));
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(f.ubLoc.line)));
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(f.ubLoc.offset)));
+        mix(static_cast<uint64_t>(f.attributedBug + 1));
     }
+    return h;
 }
-BENCHMARK(BM_PrintAndLower);
 
-static void
-BM_CompileAsanO2(benchmark::State &state)
+int
+intArg(int argc, char **argv, int &i, const char *flag)
 {
-    gen::GeneratorConfig cfg;
-    cfg.seed = 42;
-    auto prog = gen::generateProgram(cfg);
-    ast::PrintedProgram printed = ast::printProgram(*prog);
-    compiler::CompilerConfig cc;
-    cc.vendor = Vendor::GCC;
-    cc.level = OptLevel::O2;
-    cc.sanitizer = SanitizerKind::ASan;
-    for (auto _ : state) {
-        auto bin = compiler::compile(*prog, printed, cc);
-        benchmark::DoNotOptimize(bin);
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
     }
+    char *end = nullptr;
+    long v = std::strtol(argv[++i], &end, 10);
+    if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "%s: invalid number '%s'\n", flag, argv[i]);
+        std::exit(2);
+    }
+    return static_cast<int>(v);
 }
-BENCHMARK(BM_CompileAsanO2);
 
-static void
-BM_ExecuteBinary(benchmark::State &state)
+} // namespace
+
+int
+main(int argc, char **argv)
 {
-    gen::GeneratorConfig cfg;
-    cfg.seed = 42;
-    auto prog = gen::generateProgram(cfg);
-    ast::PrintedProgram printed = ast::printProgram(*prog);
-    compiler::CompilerConfig cc;
-    cc.vendor = Vendor::GCC;
-    cc.level = OptLevel::O2;
-    cc.sanitizer = SanitizerKind::ASan;
-    auto bin = compiler::compile(*prog, printed, cc);
-    for (auto _ : state) {
-        auto r = vm::execute(bin.module);
-        benchmark::DoNotOptimize(r);
-    }
-}
-BENCHMARK(BM_ExecuteBinary);
+    fuzzer::CampaignConfig cfg;
+    cfg.seed = 20240427;
+    cfg.capPerKind = 4;
+    cfg.numSeeds = 60;
+    cfg.jobs = 1;
+    if (const char *env = std::getenv("UBFUZZ_BENCH_SEEDS"))
+        cfg.numSeeds = std::max(1, std::atoi(env));
 
-static void
-BM_UBGenAllKinds(benchmark::State &state)
-{
-    gen::GeneratorConfig cfg;
-    cfg.seed = 42;
-    auto prog = gen::generateProgram(cfg);
-    Rng rng(1);
-    for (auto _ : state) {
-        ubgen::UBGenerator gen(*prog);
-        auto programs = gen.generateAll(rng, 2);
-        benchmark::DoNotOptimize(programs);
+    for (int i = 1; i < argc; i++) {
+        if (!std::strcmp(argv[i], "--jobs") || !std::strcmp(argv[i], "-j"))
+            cfg.jobs = intArg(argc, argv, i, "--jobs");
+        else if (!std::strcmp(argv[i], "--seeds"))
+            cfg.numSeeds = intArg(argc, argv, i, "--seeds");
+        else if (!std::strcmp(argv[i], "--seed"))
+            cfg.seed = static_cast<uint64_t>(
+                intArg(argc, argv, i, "--seed"));
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs N] [--seeds N] [--seed S]\n",
+                         argv[0]);
+            return 2;
+        }
     }
-}
-BENCHMARK(BM_UBGenAllKinds);
 
-BENCHMARK_MAIN();
+    int jobs = fuzzer::resolveJobs(cfg.jobs);
+    std::printf("bench_throughput: %d seeds, seed=%llu, jobs=%d\n",
+                cfg.numSeeds,
+                static_cast<unsigned long long>(cfg.seed), jobs);
+
+    auto t0 = std::chrono::steady_clock::now();
+    fuzzer::CampaignStats stats = fuzzer::runCampaign(cfg);
+    auto t1 = std::chrono::steady_clock::now();
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (secs <= 0)
+        secs = 1e-9;
+
+    std::printf("elapsed:          %.3f s\n", secs);
+    std::printf("ub programs:      %zu\n", stats.ubPrograms);
+    std::printf("programs/sec:     %.1f\n",
+                static_cast<double>(stats.ubPrograms) / secs);
+    std::printf("seeds/sec:        %.1f\n",
+                static_cast<double>(stats.seeds) / secs);
+    std::printf("selected pairs:   %zu\n", stats.selectedPairs);
+    std::printf("distinct bugs:    %zu\n", stats.distinctBugsFound());
+    std::printf("findings:         %zu\n", stats.findings.size());
+    std::printf("finding digest:   %016llx\n",
+                static_cast<unsigned long long>(findingsDigest(stats)));
+    return 0;
+}

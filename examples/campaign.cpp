@@ -2,38 +2,70 @@
  * @file
  * A miniature fuzzing campaign from the command line:
  *
- *   ./build/examples/campaign [numSeeds] [source]
+ *   ./build/examples/campaign [numSeeds] [source] [--jobs N]
  *
  * where source is one of: ubfuzz (default), music, nosafe, juliet.
- * Prints the campaign statistics and the injected bugs it pinned.
+ * --jobs shards the seeds over a worker pool (0 = all hardware
+ * threads) without changing the results. Prints the campaign
+ * statistics and the injected bugs it pinned.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
-#include "fuzzer/fuzzer.h"
+#include "fuzzer/orchestrator.h"
 
 using namespace ubfuzz;
+
+namespace {
+
+int
+parseInt(const char *what, const char *text)
+{
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr, "%s: invalid number '%s'\n", what, text);
+        std::exit(2);
+    }
+    return static_cast<int>(v);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     fuzzer::CampaignConfig cfg;
     cfg.seed = 1;
-    cfg.numSeeds = argc > 1 ? std::atoi(argv[1]) : 25;
+    cfg.numSeeds = 25;
     cfg.capPerKind = 3;
-    if (argc > 2) {
-        if (!std::strcmp(argv[2], "music"))
-            cfg.source = fuzzer::SourceMode::Music;
-        else if (!std::strcmp(argv[2], "nosafe"))
-            cfg.source = fuzzer::SourceMode::CsmithNoSafe;
-        else if (!std::strcmp(argv[2], "juliet"))
-            cfg.source = fuzzer::SourceMode::Juliet;
+    int positional = 0;
+    for (int i = 1; i < argc; i++) {
+        if (!std::strcmp(argv[i], "--jobs") || !std::strcmp(argv[i], "-j")) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--jobs requires a value\n");
+                return 2;
+            }
+            cfg.jobs = parseInt("--jobs", argv[++i]);
+        } else if (positional == 0) {
+            cfg.numSeeds = parseInt("numSeeds", argv[i]);
+            positional++;
+        } else if (positional == 1) {
+            if (!std::strcmp(argv[i], "music"))
+                cfg.source = fuzzer::SourceMode::Music;
+            else if (!std::strcmp(argv[i], "nosafe"))
+                cfg.source = fuzzer::SourceMode::CsmithNoSafe;
+            else if (!std::strcmp(argv[i], "juliet"))
+                cfg.source = fuzzer::SourceMode::Juliet;
+            positional++;
+        }
     }
 
-    std::printf("campaign: %d seeds, source=%s\n", cfg.numSeeds,
-                fuzzer::sourceModeName(cfg.source));
+    std::printf("campaign: %d seeds, source=%s, jobs=%d\n", cfg.numSeeds,
+                fuzzer::sourceModeName(cfg.source),
+                fuzzer::resolveJobs(cfg.jobs));
     fuzzer::CampaignStats stats = fuzzer::runCampaign(cfg);
 
     std::printf("\nUB programs tested:       %zu\n", stats.ubPrograms);

@@ -2,6 +2,7 @@
 
 #include "ast/printer.h"
 #include "corpus/juliet.h"
+#include "fuzzer/orchestrator.h"
 #include "ir/lowering.h"
 #include "mutation/music.h"
 #include "oracle/oracle.h"
@@ -103,77 +104,87 @@ struct TestItem
     SourceLoc gtLoc;
 };
 
+/**
+ * Split an independent RNG stream for one campaign unit. Each unit gets
+ * its own SplitMix64 stream keyed on (campaign seed, unit index), so a
+ * unit's randomness does not depend on which worker runs it or on how
+ * many units ran before it — the property that makes `--jobs N`
+ * bit-identical to a sequential run.
+ */
+Rng
+unitRng(uint64_t campaignSeed, uint64_t index)
+{
+    Rng splitter(campaignSeed * 0x2545F4914F6CDD1DULL + 99 +
+                 (index + 1) * 0x9E3779B97F4A7C15ULL);
+    return splitter.fork();
+}
+
 class Campaign
 {
   public:
-    explicit Campaign(const CampaignConfig &cfg)
-        : cfg_(cfg), rng_(cfg.seed * 0x2545F4914F6CDD1DULL + 99)
-    {}
+    explicit Campaign(const CampaignConfig &cfg) : cfg_(cfg) {}
 
+    /** Run one independent unit: a seed program, or a Juliet case. */
     CampaignStats
-    run()
+    runUnit(int index)
     {
         if (cfg_.source == SourceMode::Juliet) {
-            for (const corpus::JulietCase &c : corpus::julietSuite()) {
-                stats_.seeds++;
-                auto prog = corpus::parseCase(c);
-                classifyAndTest(std::move(prog));
-            }
+            const corpus::JulietCase &c =
+                corpus::julietSuite()[static_cast<size_t>(index)];
+            stats_.seeds++;
+            auto prog = corpus::parseCase(c);
+            classifyAndTest(std::move(prog));
             return std::move(stats_);
         }
-        for (int i = 0; i < cfg_.numSeeds; i++) {
-            stats_.seeds++;
-            gen::GeneratorConfig gc;
-            gc.seed = cfg_.seed * 1000003ULL +
-                      static_cast<uint64_t>(i);
-            switch (cfg_.source) {
-              case SourceMode::UBFuzz: {
-                gc.safeMath = true;
-                auto seed = gen::generateProgram(gc);
-                ubgen::UBGenerator ubg(*seed);
-                if (!ubg.profiled())
-                    break;
-                auto programs =
-                    ubg.generateAll(rng_, cfg_.capPerKind);
-                for (auto &ub : programs) {
-                    if (!ubgen::validateUBProgram(ub)) {
-                        stats_.nonTriggering++;
-                        continue;
-                    }
-                    TestItem item;
-                    item.program = std::move(ub.program);
-                    item.kind = ub.kind;
-                    item.siteId = ub.siteId;
-                    testItem(std::move(item));
+        stats_.seeds++;
+        Rng rng = unitRng(cfg_.seed, static_cast<uint64_t>(index));
+        gen::GeneratorConfig gc;
+        gc.seed = cfg_.seed * 1000003ULL + static_cast<uint64_t>(index);
+        switch (cfg_.source) {
+          case SourceMode::UBFuzz: {
+            gc.safeMath = true;
+            auto seed = gen::generateProgram(gc);
+            ubgen::UBGenerator ubg(*seed);
+            if (!ubg.profiled())
+                break;
+            auto programs = ubg.generateAll(rng, cfg_.capPerKind);
+            for (auto &ub : programs) {
+                if (!ubgen::validateUBProgram(ub)) {
+                    stats_.nonTriggering++;
+                    continue;
                 }
-                break;
-              }
-              case SourceMode::Music: {
-                gc.safeMath = true;
-                auto seed = gen::generateProgram(gc);
-                for (int m = 0; m < cfg_.mutantsPerSeed; m++) {
-                    auto mutant = mutation::musicMutate(*seed, rng_);
-                    if (!mutant)
-                        continue;
-                    classifyAndTest(std::move(mutant));
-                }
-                break;
-              }
-              case SourceMode::CsmithNoSafe: {
-                gc.safeMath = false;
-                classifyAndTest(gen::generateProgram(gc));
-                break;
-              }
-              case SourceMode::Juliet:
-                break;
+                TestItem item;
+                item.program = std::move(ub.program);
+                item.kind = ub.kind;
+                item.siteId = ub.siteId;
+                testItem(std::move(item));
             }
+            break;
+          }
+          case SourceMode::Music: {
+            gc.safeMath = true;
+            auto seed = gen::generateProgram(gc);
+            for (int m = 0; m < cfg_.mutantsPerSeed; m++) {
+                auto mutant = mutation::musicMutate(*seed, rng);
+                if (!mutant)
+                    continue;
+                classifyAndTest(std::move(mutant));
+            }
+            break;
+          }
+          case SourceMode::CsmithNoSafe: {
+            gc.safeMath = false;
+            classifyAndTest(gen::generateProgram(gc));
+            break;
+          }
+          case SourceMode::Juliet:
+            break;
         }
         return std::move(stats_);
     }
 
   private:
     CampaignConfig cfg_;
-    Rng rng_;
     CampaignStats stats_;
 
     /** Ground-truth classify a baseline program, then test if UB. */
@@ -293,10 +304,64 @@ class Campaign
 
 } // namespace
 
+namespace detail {
+
+int
+campaignUnitCount(const CampaignConfig &config)
+{
+    if (config.source == SourceMode::Juliet)
+        return static_cast<int>(corpus::julietSuite().size());
+    return config.numSeeds;
+}
+
+CampaignStats
+runCampaignUnit(const CampaignConfig &config, int index)
+{
+    return Campaign(config).runUnit(index);
+}
+
+void
+mergeCampaignStats(CampaignStats &into, CampaignStats &&from)
+{
+    into.seeds += from.seeds;
+    into.ubPrograms += from.ubPrograms;
+    for (size_t k = 0; k < ubgen::kNumUBKinds; k++)
+        into.perKind[k] += from.perKind[k];
+    into.nonTriggering += from.nonTriggering;
+    into.noUB += from.noUB;
+    into.discrepantPrograms += from.discrepantPrograms;
+    into.oracleSelectedPrograms += from.oracleSelectedPrograms;
+    into.verdictPairs += from.verdictPairs;
+    into.selectedPairs += from.selectedPairs;
+    into.selectedTrueBug += from.selectedTrueBug;
+    into.selectedOptimization += from.selectedOptimization;
+    into.droppedPairs += from.droppedPairs;
+    into.droppedTrueBug += from.droppedTrueBug;
+    for (const auto &[id, n] : from.bugFindingCounts)
+        into.bugFindingCounts[id] += n;
+    // emplace keeps the earlier unit's kind, matching the sequential
+    // "first kind seen" semantics when merged in unit order.
+    for (const auto &[id, kind] : from.bugFirstKind)
+        into.bugFirstKind.emplace(id, kind);
+    for (const auto &[id, levels] : from.bugLevels)
+        into.bugLevels[id].insert(levels.begin(), levels.end());
+    into.wrongReports += from.wrongReports;
+    into.wrongReportBugs.insert(from.wrongReportBugs.begin(),
+                                from.wrongReportBugs.end());
+    into.invalidFindings += from.invalidFindings;
+    for (auto &rec : from.findings) {
+        if (into.findings.size() >= 200)
+            break;
+        into.findings.push_back(rec);
+    }
+}
+
+} // namespace detail
+
 CampaignStats
 runCampaign(const CampaignConfig &config)
 {
-    return Campaign(config).run();
+    return runCampaignParallel(config);
 }
 
 } // namespace ubfuzz::fuzzer

@@ -16,6 +16,7 @@
 
 #include <map>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "compiler/compiler.h"
@@ -45,6 +46,12 @@ struct CampaignConfig
     /** Ablation: test only at -O0 (§1: misses higher-level bugs). */
     bool onlyO0 = false;
     uint64_t stepLimit = 1'000'000;
+    /**
+     * Worker threads sharding the seeds. Results are identical for any
+     * value: every seed owns an RNG stream split from `seed`, and
+     * per-seed results merge in seed order. 1 runs on the caller.
+     */
+    int jobs = 1;
 };
 
 /** One oracle-selected (program, missing-config) finding. */
@@ -57,6 +64,32 @@ struct FindingRecord
     /** Ground truth: an injected bug influenced the missing binary. */
     bool groundTruthBug = false;
     int attributedBug = -1; ///< san::BugId when groundTruthBug
+
+    /** Total order so finding sets are comparable across runs. */
+    auto
+    key() const
+    {
+        auto cc = [](const compiler::CompilerConfig &c) {
+            return std::make_tuple(static_cast<int>(c.vendor), c.version,
+                                   static_cast<int>(c.level),
+                                   static_cast<int>(c.sanitizer));
+        };
+        return std::make_tuple(static_cast<int>(kind), cc(crashing),
+                               cc(missing), ubLoc.line, ubLoc.offset,
+                               groundTruthBug, attributedBug);
+    }
+
+    friend bool
+    operator<(const FindingRecord &a, const FindingRecord &b)
+    {
+        return a.key() < b.key();
+    }
+
+    friend bool
+    operator==(const FindingRecord &a, const FindingRecord &b)
+    {
+        return a.key() == b.key();
+    }
 };
 
 struct CampaignStats
@@ -100,11 +133,31 @@ struct CampaignStats
     size_t distinctBugsFound() const { return bugFindingCounts.size(); }
 };
 
-/** Run one campaign. Deterministic in the config. */
+/**
+ * Run one campaign, sharded across `config.jobs` workers. Deterministic
+ * in the config; `jobs` never changes the result, only the wall clock.
+ */
 CampaignStats runCampaign(const CampaignConfig &config);
 
 /** Map a ground-truth report to the UB kind taxonomy. */
 ubgen::UBKind kindOfReport(vm::ReportKind r);
+
+namespace detail {
+
+/** Independent units a campaign shards over (seeds or Juliet cases). */
+int campaignUnitCount(const CampaignConfig &config);
+
+/** Run unit @p index on its own RNG stream split from `config.seed`. */
+CampaignStats runCampaignUnit(const CampaignConfig &config, int index);
+
+/**
+ * Fold @p from into @p into. Folding unit stats in increasing index
+ * order reproduces a sequential run exactly (findings cap, first-kind
+ * attribution), which is what makes sharding merge-order-independent.
+ */
+void mergeCampaignStats(CampaignStats &into, CampaignStats &&from);
+
+} // namespace detail
 
 } // namespace ubfuzz::fuzzer
 

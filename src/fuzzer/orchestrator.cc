@@ -1,0 +1,76 @@
+#include "fuzzer/orchestrator.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ubfuzz::fuzzer {
+
+int
+resolveJobs(int requested)
+{
+    if (requested > 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+CampaignStats
+runCampaignParallel(const CampaignConfig &config)
+{
+    const int units = detail::campaignUnitCount(config);
+    CampaignStats total;
+    if (units <= 0)
+        return total;
+
+    int jobs = resolveJobs(config.jobs);
+    if (jobs > units)
+        jobs = units;
+
+    if (jobs <= 1) {
+        for (int i = 0; i < units; i++)
+            detail::mergeCampaignStats(total,
+                                       detail::runCampaignUnit(config, i));
+        return total;
+    }
+
+    // Workers steal unit indices from a shared cursor and run each
+    // unit on a private accumulator — no locks on the hot path. A
+    // completed unit is folded into `total` in strict unit order: the
+    // frontier advances as soon as the next unit lands, and at most
+    // the out-of-order window (~jobs units) is ever buffered, so peak
+    // memory stays O(jobs) rather than O(units). Unit-order folding
+    // is what keeps the result bit-identical to a sequential run.
+    std::atomic<int> cursor{0};
+    std::mutex foldMutex;
+    std::map<int, CampaignStats> pending;
+    int frontier = 0;
+    auto work = [&] {
+        for (;;) {
+            int i = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= units)
+                return;
+            CampaignStats stats = detail::runCampaignUnit(config, i);
+            std::lock_guard<std::mutex> lock(foldMutex);
+            pending.emplace(i, std::move(stats));
+            while (!pending.empty() &&
+                   pending.begin()->first == frontier) {
+                detail::mergeCampaignStats(
+                    total, std::move(pending.begin()->second));
+                pending.erase(pending.begin());
+                frontier++;
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(jobs));
+    for (int w = 0; w < jobs; w++)
+        pool.emplace_back(work);
+    for (std::thread &t : pool)
+        t.join();
+    return total;
+}
+
+} // namespace ubfuzz::fuzzer

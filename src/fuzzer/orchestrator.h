@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Multi-threaded campaign orchestration. A campaign is a set of
+ * independent units (seed programs, or Juliet cases); the orchestrator
+ * shards them across a worker pool. Determinism contract:
+ *
+ *  - every unit draws from an RNG stream split from the campaign seed,
+ *    so its behavior is independent of scheduling;
+ *  - each unit writes its stats into its own accumulator slot (no
+ *    mutex, no sharing between workers);
+ *  - slots are folded in unit order after the pool drains, so the
+ *    merged result is bit-identical to a sequential run.
+ */
+
+#ifndef UBFUZZ_FUZZER_ORCHESTRATOR_H
+#define UBFUZZ_FUZZER_ORCHESTRATOR_H
+
+#include "fuzzer/fuzzer.h"
+
+namespace ubfuzz::fuzzer {
+
+/**
+ * Run a campaign sharded across `config.jobs` worker threads (clamped
+ * to [1, unit count]). `jobs <= 1` runs on the calling thread. The
+ * result is identical for every jobs value.
+ */
+CampaignStats runCampaignParallel(const CampaignConfig &config);
+
+/** Resolve a --jobs request: 0 or negative means "all hardware threads". */
+int resolveJobs(int requested);
+
+} // namespace ubfuzz::fuzzer
+
+#endif // UBFUZZ_FUZZER_ORCHESTRATOR_H

@@ -22,6 +22,7 @@
 #ifndef UBFUZZ_SUPPORT_COVERAGE_H
 #define UBFUZZ_SUPPORT_COVERAGE_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -42,35 +43,52 @@ class CovSite
     const char *name() const { return name_; }
     CovKind kind() const { return kind_; }
 
-    /** Record execution (for Line/Function sites). */
-    void hit() { hits_++; }
+    /**
+     * Record execution (for Line/Function sites). Counters are atomic
+     * because campaign workers run compiler passes concurrently;
+     * relaxed ordering suffices — totals are read only after the pool
+     * has joined.
+     */
+    void hit() { hits_.fetch_add(1, std::memory_order_relaxed); }
 
     /** Record a branch outcome (for Branch sites). */
     void
     branch(bool taken)
     {
         if (taken)
-            trueHits_++;
+            trueHits_.fetch_add(1, std::memory_order_relaxed);
         else
-            falseHits_++;
+            falseHits_.fetch_add(1, std::memory_order_relaxed);
     }
 
-    uint64_t hits() const { return hits_; }
-    uint64_t trueHits() const { return trueHits_; }
-    uint64_t falseHits() const { return falseHits_; }
+    uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+    uint64_t
+    trueHits() const
+    {
+        return trueHits_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    falseHits() const
+    {
+        return falseHits_.load(std::memory_order_relaxed);
+    }
 
     void
     reset()
     {
-        hits_ = trueHits_ = falseHits_ = 0;
+        hits_.store(0, std::memory_order_relaxed);
+        trueHits_.store(0, std::memory_order_relaxed);
+        falseHits_.store(0, std::memory_order_relaxed);
     }
 
   private:
     const char *name_;
     CovKind kind_;
-    uint64_t hits_ = 0;
-    uint64_t trueHits_ = 0;
-    uint64_t falseHits_ = 0;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> trueHits_{0};
+    std::atomic<uint64_t> falseHits_{0};
 };
 
 /** Aggregated coverage numbers for one slice of the site universe. */

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The parallel orchestrator's determinism contract: sharding a
+ * campaign across a worker pool never changes the result — the same
+ * findings, the same ground-truth attribution, the same counters,
+ * regardless of `jobs`.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "fuzzer/orchestrator.h"
+
+namespace ubfuzz::fuzzer {
+namespace {
+
+std::vector<FindingRecord>
+sortedFindings(const CampaignStats &stats)
+{
+    std::vector<FindingRecord> f = stats.findings;
+    std::sort(f.begin(), f.end());
+    return f;
+}
+
+void
+expectIdentical(const CampaignStats &a, const CampaignStats &b)
+{
+    EXPECT_EQ(a.seeds, b.seeds);
+    EXPECT_EQ(a.ubPrograms, b.ubPrograms);
+    EXPECT_EQ(a.nonTriggering, b.nonTriggering);
+    EXPECT_EQ(a.noUB, b.noUB);
+    for (size_t k = 0; k < ubgen::kNumUBKinds; k++)
+        EXPECT_EQ(a.perKind[k], b.perKind[k]) << "kind " << k;
+    EXPECT_EQ(a.discrepantPrograms, b.discrepantPrograms);
+    EXPECT_EQ(a.oracleSelectedPrograms, b.oracleSelectedPrograms);
+    EXPECT_EQ(a.verdictPairs, b.verdictPairs);
+    EXPECT_EQ(a.selectedPairs, b.selectedPairs);
+    EXPECT_EQ(a.selectedTrueBug, b.selectedTrueBug);
+    EXPECT_EQ(a.selectedOptimization, b.selectedOptimization);
+    EXPECT_EQ(a.droppedPairs, b.droppedPairs);
+    EXPECT_EQ(a.droppedTrueBug, b.droppedTrueBug);
+    EXPECT_EQ(a.bugFindingCounts, b.bugFindingCounts);
+    EXPECT_EQ(a.bugFirstKind, b.bugFirstKind);
+    EXPECT_EQ(a.bugLevels, b.bugLevels);
+    EXPECT_EQ(a.wrongReports, b.wrongReports);
+    EXPECT_EQ(a.wrongReportBugs, b.wrongReportBugs);
+    EXPECT_EQ(a.invalidFindings, b.invalidFindings);
+    EXPECT_EQ(sortedFindings(a), sortedFindings(b));
+}
+
+TEST(Orchestrator, ShardingIsDeterministic)
+{
+    CampaignConfig cfg;
+    cfg.seed = 11;
+    cfg.numSeeds = 12;
+    cfg.capPerKind = 2;
+
+    cfg.jobs = 1;
+    CampaignStats sequential = runCampaignParallel(cfg);
+    cfg.jobs = 4;
+    CampaignStats sharded = runCampaignParallel(cfg);
+
+    // The campaign actually found things (the comparison is not 0==0).
+    ASSERT_GT(sequential.ubPrograms, 0u);
+    ASSERT_GT(sequential.findings.size(), 0u);
+    expectIdentical(sequential, sharded);
+}
+
+TEST(Orchestrator, MoreJobsThanUnits)
+{
+    CampaignConfig cfg;
+    cfg.seed = 3;
+    cfg.numSeeds = 3;
+    cfg.capPerKind = 2;
+
+    cfg.jobs = 1;
+    CampaignStats sequential = runCampaignParallel(cfg);
+    cfg.jobs = 16;
+    CampaignStats sharded = runCampaignParallel(cfg);
+    expectIdentical(sequential, sharded);
+}
+
+TEST(Orchestrator, JulietShardsDeterministically)
+{
+    CampaignConfig cfg;
+    cfg.source = SourceMode::Juliet;
+
+    cfg.jobs = 1;
+    CampaignStats sequential = runCampaignParallel(cfg);
+    cfg.jobs = 4;
+    CampaignStats sharded = runCampaignParallel(cfg);
+    ASSERT_GT(sequential.ubPrograms, 0u);
+    expectIdentical(sequential, sharded);
+}
+
+TEST(Orchestrator, ResolveJobs)
+{
+    EXPECT_EQ(resolveJobs(3), 3);
+    EXPECT_EQ(resolveJobs(1), 1);
+    EXPECT_GE(resolveJobs(0), 1);
+    EXPECT_GE(resolveJobs(-2), 1);
+}
+
+TEST(Orchestrator, EmptyCampaign)
+{
+    CampaignConfig cfg;
+    cfg.numSeeds = 0;
+    cfg.jobs = 8;
+    CampaignStats stats = runCampaignParallel(cfg);
+    EXPECT_EQ(stats.seeds, 0u);
+    EXPECT_EQ(stats.ubPrograms, 0u);
+}
+
+} // namespace
+} // namespace ubfuzz::fuzzer
