@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "bench_util.h"
 #include "fuzzer/orchestrator.h"
 
 using namespace ubfuzz;
@@ -73,10 +74,8 @@ main(int argc, char **argv)
     fuzzer::CampaignConfig cfg;
     cfg.seed = 20240427;
     cfg.capPerKind = 4;
-    cfg.numSeeds = 60;
+    cfg.numSeeds = bench::seedCount(60);
     cfg.jobs = 1;
-    if (const char *env = std::getenv("UBFUZZ_BENCH_SEEDS"))
-        cfg.numSeeds = std::max(1, std::atoi(env));
 
     for (int i = 1; i < argc; i++) {
         if (!std::strcmp(argv[i], "--jobs") || !std::strcmp(argv[i], "-j"))
@@ -107,6 +106,8 @@ main(int argc, char **argv)
         secs = 1e-9;
 
     std::printf("elapsed:          %.3f s\n", secs);
+    std::printf("seeds (unprof.):  %zu (%zu)\n", stats.seeds,
+                stats.unprofiledSeeds);
     std::printf("ub programs:      %zu\n", stats.ubPrograms);
     std::printf("programs/sec:     %.1f\n",
                 static_cast<double>(stats.ubPrograms) / secs);
@@ -115,6 +116,17 @@ main(int argc, char **argv)
     std::printf("selected pairs:   %zu\n", stats.selectedPairs);
     std::printf("distinct bugs:    %zu\n", stats.distinctBugsFound());
     std::printf("findings:         %zu\n", stats.findings.size());
+    // Staged-compiler counters: lowerings tracks tested programs (one
+    // each), early-opt runs the distinct (vendor, level) points; a jump
+    // here is a hot-path regression even when the digest is unchanged.
+    std::printf("lowerings:        %zu\n", stats.compile.lowerings);
+    std::printf("early-opt runs:   %zu (cache hits: %zu)\n",
+                stats.compile.earlyOptRuns,
+                stats.compile.earlyOptCacheHits);
+    std::printf("specializations:  %zu\n", stats.compile.specializations);
+    // Every trace run used to be a second compile of a silent binary.
+    std::printf("trace re-execs:   %zu (formerly recompiles)\n",
+                stats.compile.traceExecutions);
     std::printf("finding digest:   %016llx\n",
                 static_cast<unsigned long long>(findingsDigest(stats)));
     return 0;

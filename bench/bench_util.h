@@ -17,12 +17,27 @@
 
 namespace ubfuzz::bench {
 
+/**
+ * UBFUZZ_BENCH_SEEDS, strictly parsed. A typo ("6O", "1e3", "") must
+ * abort the run, not silently shrink the campaign to one seed — the
+ * same policy the campaign CLI applies to its flags.
+ */
 inline int
 seedCount(int fallback = 60)
 {
-    if (const char *env = std::getenv("UBFUZZ_BENCH_SEEDS"))
-        return std::max(1, std::atoi(env));
-    return fallback;
+    const char *env = std::getenv("UBFUZZ_BENCH_SEEDS");
+    if (!env)
+        return fallback;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1 || v > 1000000) {
+        std::fprintf(stderr,
+                     "UBFUZZ_BENCH_SEEDS: invalid seed count '%s' "
+                     "(want an integer in [1, 1000000])\n",
+                     env);
+        std::exit(2);
+    }
+    return static_cast<int>(v);
 }
 
 inline fuzzer::CampaignStats

@@ -67,12 +67,16 @@ int main(void) {
     }
     std::printf("\nground truth (injected defect log of gcc -O2): ");
     bool fired = false;
-    auto b2 = compiler::compile(*prog, printed,
-                                {Vendor::GCC, 0, OptLevel::O2,
-                                 SanitizerKind::ASan});
-    for (const auto &f : b2.log.firings) {
-        std::printf("%s ", san::bugInfo(f.id).name);
-        fired = true;
+    for (const auto &oc : diff.outcomes) {
+        if (oc.config.vendor != Vendor::GCC ||
+            oc.config.level != OptLevel::O2)
+            continue;
+        // The differential run already compiled this configuration and
+        // retained its log — no need to compile it again.
+        for (const auto &f : oc.log.firings) {
+            std::printf("%s ", san::bugInfo(f.id).name);
+            fired = true;
+        }
     }
     std::printf("%s\n", fired ? "" : "(none)");
     return 0;

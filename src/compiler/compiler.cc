@@ -21,22 +21,36 @@ CompilerConfig::str() const
     return s;
 }
 
+ir::Module
+lowerOnce(const ast::Program &program, const ast::PrintedProgram &printed,
+          CompileStats *stats)
+{
+    if (stats)
+        stats->lowerings++;
+    return ir::lowerProgram(program, printed.map);
+}
+
+ir::Module
+earlyOptimize(ir::Module base, Vendor vendor, OptLevel level,
+              CompileStats *stats)
+{
+    if (stats)
+        stats->earlyOptRuns++;
+    opt::runStagePipeline(base, vendor, level, opt::Stage::EarlyOpt);
+    return base;
+}
+
 Binary
-compile(const ast::Program &program, const ast::PrintedProgram &printed,
-        const CompilerConfig &config)
+specialize(ir::Module earlyOptimized, const CompilerConfig &config,
+           CompileStats *stats)
 {
     UBF_ASSERT(vendorSupports(config.vendor, config.sanitizer),
                "sanitizer unsupported by vendor");
+    if (stats)
+        stats->specializations++;
     Binary binary;
     binary.config = config;
-    binary.module = ir::lowerProgram(program, printed.map);
-
-    // Early optimizer (runs before the sanitizer pass; this is where
-    // legitimate UB elimination happens — Challenge 2).
-    auto early = opt::buildPipeline(config.vendor, config.level,
-                                    opt::Stage::EarlyOpt);
-    int iterations = optAtLeast(config.level, OptLevel::O2) ? 2 : 1;
-    opt::runPipeline(binary.module, early, iterations);
+    binary.module = std::move(earlyOptimized);
 
     // Sanitizer instrumentation + check optimizer.
     san::SanitizerContext ctx;
@@ -47,9 +61,8 @@ compile(const ast::Program &program, const ast::PrintedProgram &printed,
     san::instrument(binary.module, ctx);
 
     // Late optimizer: cleanup that must not break checks.
-    auto late = opt::buildPipeline(config.vendor, config.level,
-                                   opt::Stage::LateOpt);
-    opt::runPipeline(binary.module, late, 1);
+    opt::runStagePipeline(binary.module, config.vendor, config.level,
+                          opt::Stage::LateOpt);
 
     std::string verr = ir::verifyModule(binary.module);
     UBF_ASSERT(verr.empty(), "post-compile verification failed: ", verr);
@@ -57,10 +70,57 @@ compile(const ast::Program &program, const ast::PrintedProgram &printed,
 }
 
 Binary
+compile(const ast::Program &program, const ast::PrintedProgram &printed,
+        const CompilerConfig &config)
+{
+    // One-off path: the module is private at every stage, so it moves
+    // through the pipeline without a single clone — the same cost as
+    // the pre-staged monolithic compile.
+    return specialize(earlyOptimize(lowerOnce(program, printed),
+                                    config.vendor, config.level),
+                      config);
+}
+
+Binary
 compileProgram(const ast::Program &program, const CompilerConfig &config)
 {
     ast::PrintedProgram printed = ast::printProgram(program);
     return compile(program, printed, config);
+}
+
+Binary
+CompilationCache::compile(const CompilerConfig &config)
+{
+    return specialize(
+        ir::cloneModule(earlyOptModule(config.vendor, config.level)),
+        config, &stats_);
+}
+
+void
+CompilationCache::adoptBase(ir::Module base)
+{
+    UBF_ASSERT(!base_ && earlyOpt_.empty(),
+               "adoptBase on a cache that already lowered");
+    base_ = std::move(base);
+}
+
+const ir::Module &
+CompilationCache::earlyOptModule(Vendor vendor, OptLevel level)
+{
+    // Equivalent matrix columns (same early pipeline, same rounds)
+    // share one entry — and one optimizer run.
+    auto key = opt::canonicalEarlyOptPoint(vendor, level);
+    auto it = earlyOpt_.find(key);
+    if (it != earlyOpt_.end()) {
+        stats_.earlyOptCacheHits++;
+        return it->second;
+    }
+    if (!base_)
+        base_ = lowerOnce(program_, printed_, &stats_);
+    return earlyOpt_
+        .emplace(key, earlyOptimize(ir::cloneModule(*base_), key.first,
+                                    key.second, &stats_))
+        .first->second;
 }
 
 } // namespace ubfuzz::compiler

@@ -8,12 +8,29 @@
  * metadata (-g) is always on. The resulting Binary carries the compile
  * log of injected-bug firings, which the fuzzer uses as ground truth
  * when evaluating the crash-site mapping oracle.
+ *
+ * The pipeline is staged so the campaign's inner loop compiles once
+ * and specializes many times:
+ *
+ *   lowerOnce      AST + SourceMap -> base module   (per program)
+ *   earlyOptimize  base -> post-early-opt module    (per vendor/level)
+ *   specialize     early-opt -> Binary              (per full config)
+ *
+ * Early optimization depends only on (vendor, level) — never on the
+ * sanitizer or the simulated version — so a CompilationCache lets the
+ * whole ASan/UBSan/MSan testing matrix share one lowering and one
+ * early-opt run per (vendor, level). Caches are single-threaded by
+ * design: the orchestrator gives every campaign unit its own, which
+ * keeps `--jobs N` bit-identical to a sequential run.
  */
 
 #ifndef UBFUZZ_COMPILER_COMPILER_H
 #define UBFUZZ_COMPILER_COMPILER_H
 
+#include <map>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "ast/ast.h"
 #include "ast/printer.h"
@@ -57,9 +74,83 @@ struct Binary
 };
 
 /**
- * Compile an already-printed program. The PrintedProgram's SourceMap is
- * the single source of truth for (line, offset) debug locations, so
- * binaries of the same printed text are comparable by crash site.
+ * Execution counters for the staged pipeline. The campaign accumulates
+ * these per unit (CampaignStats::compile) and bench_throughput prints
+ * them, making hot-path regressions — a reintroduced re-lowering or
+ * double compile — visible as a counter jump instead of a silent
+ * slowdown.
+ */
+struct CompileStats
+{
+    /** ir::lowerProgram executions (AST -> IR). */
+    size_t lowerings = 0;
+    /** Early-optimizer pipeline executions. */
+    size_t earlyOptRuns = 0;
+    /** Early-opt requests served from a CompilationCache entry. */
+    size_t earlyOptCacheHits = 0;
+    /** Sanitizer + late-opt specializations (one per Binary built). */
+    size_t specializations = 0;
+    /**
+     * Debugger (tracing) re-executions of retained modules, each of
+     * which was a full second compile of a silent binary before the
+     * staged pipeline. The pre-refactor campaign performed
+     * `specializations + traceExecutions` compiles (each with its own
+     * lowering and early opt); the staged one performs exactly
+     * `specializations`.
+     */
+    size_t traceExecutions = 0;
+
+    void
+    merge(const CompileStats &o)
+    {
+        lowerings += o.lowerings;
+        earlyOptRuns += o.earlyOptRuns;
+        earlyOptCacheHits += o.earlyOptCacheHits;
+        specializations += o.specializations;
+        traceExecutions += o.traceExecutions;
+    }
+};
+
+/**
+ * Stage 1: lower the printed program to the shared base module. The
+ * PrintedProgram's SourceMap is the single source of truth for (line,
+ * offset) debug locations, so binaries of the same printed text are
+ * comparable by crash site.
+ */
+ir::Module lowerOnce(const ast::Program &program,
+                     const ast::PrintedProgram &printed,
+                     CompileStats *stats = nullptr);
+
+/**
+ * Stage 2: run the early optimizer on @p base and return it. Early
+ * opt is where legitimate UB elimination happens (Challenge 2); it
+ * depends only on (vendor, level), so its result is shared by every
+ * sanitizer and version at that point of the matrix.
+ *
+ * Takes the module by value: move a throwaway in, or pass
+ * ir::cloneModule(shared) when the original must survive.
+ */
+ir::Module earlyOptimize(ir::Module base, Vendor vendor, OptLevel level,
+                         CompileStats *stats = nullptr);
+
+/**
+ * Stage 3: run everything that depends on the full configuration on
+ * @p earlyOptimized — sanitizer instrumentation (with its
+ * version-gated injected bugs), sanitizer-check optimization, the late
+ * cleanup pipeline, and verification — and wrap it in a Binary.
+ *
+ * Takes the module by value, like earlyOptimize: cached modules must
+ * come in as ir::cloneModule copies (san::instrument panics if a
+ * module is ever specialized twice).
+ */
+Binary specialize(ir::Module earlyOptimized,
+                  const CompilerConfig &config,
+                  CompileStats *stats = nullptr);
+
+/**
+ * Compile an already-printed program: lowerOnce + earlyOptimize +
+ * specialize, uncached. One-off callers (examples, tests) use this;
+ * the campaign hot path goes through CompilationCache.
  */
 Binary compile(const ast::Program &program,
                const ast::PrintedProgram &printed,
@@ -68,6 +159,57 @@ Binary compile(const ast::Program &program,
 /** Convenience overload that prints internally. */
 Binary compileProgram(const ast::Program &program,
                       const CompilerConfig &config);
+
+/**
+ * Per-program memoization of the compile-once stages: the lowered base
+ * module, and the post-early-opt module per (vendor, level). One cache
+ * serves a whole testing matrix — every sanitizer row reuses the same
+ * early-opt modules. Not thread-safe; intended to live inside one
+ * campaign unit (the orchestrator's parallelism is across units).
+ */
+class CompilationCache
+{
+  public:
+    /** @p program and @p printed must outlive the cache. */
+    CompilationCache(const ast::Program &program,
+                     const ast::PrintedProgram &printed)
+        : program_(program), printed_(printed)
+    {
+    }
+
+    CompilationCache(const CompilationCache &) = delete;
+    CompilationCache &operator=(const CompilationCache &) = delete;
+
+    /** Compile under @p config, reusing every cached stage. The result
+     *  is bit-identical to compile(program, printed, config). */
+    Binary compile(const CompilerConfig &config);
+
+    /** Account one debugger (tracing) re-execution of a binary built
+     *  from this cache — what used to be a recompile. */
+    void noteTraceExecution() { stats_.traceExecutions++; }
+
+    /**
+     * Seed the lowered base module instead of lowering on first use,
+     * for callers that already lowered the program (e.g. the
+     * campaign's ground-truth classifier). @p base must be the result
+     * of lowering `program` against `printed.map`. Only valid on a
+     * fresh cache.
+     */
+    void adoptBase(ir::Module base);
+
+    const CompileStats &stats() const { return stats_; }
+
+  private:
+    const ir::Module &earlyOptModule(Vendor vendor, OptLevel level);
+
+    const ast::Program &program_;
+    const ast::PrintedProgram &printed_;
+    /** Lowered base module; built on first use. */
+    std::optional<ir::Module> base_;
+    /** Post-early-opt modules keyed by (vendor, level). */
+    std::map<std::pair<Vendor, OptLevel>, ir::Module> earlyOpt_;
+    CompileStats stats_;
+};
 
 } // namespace ubfuzz::compiler
 

@@ -1,11 +1,14 @@
 #include "fuzzer/fuzzer.h"
 
+#include <optional>
+
 #include "ast/printer.h"
 #include "corpus/juliet.h"
 #include "fuzzer/orchestrator.h"
 #include "ir/lowering.h"
 #include "mutation/music.h"
 #include "oracle/oracle.h"
+#include "support/diagnostics.h"
 #include "support/rng.h"
 #include "vm/vm.h"
 
@@ -48,9 +51,16 @@ kindOfReport(vm::ReportKind r)
         return UBKind::ShiftOverflow;
       case R::DivByZero:
         return UBKind::DivideByZero;
-      default:
+      case R::UninitValue:
         return UBKind::UseOfUninitMemory;
+      case R::None:
+        // Not a report: only callers holding a crashed ExecResult may
+        // ask for its UB kind. (No default arm, so a new ReportKind is
+        // a compile error here rather than a silent mislabel.)
+        break;
     }
+    UBF_PANIC("kindOfReport: not a sanitizer report: ",
+              vm::reportKindName(r));
 }
 
 namespace {
@@ -102,6 +112,11 @@ struct TestItem
     uint32_t siteId = 0;
     /** Expected UB location; computed per printing. */
     SourceLoc gtLoc;
+    /** Printed form and ground-truth lowering carried over from the
+     *  classify pass (baseline modes), so testItem neither re-prints
+     *  nor re-lowers what the classifier already produced. */
+    std::optional<ast::PrintedProgram> printed;
+    std::optional<ir::Module> baseModule;
 };
 
 /**
@@ -145,8 +160,10 @@ class Campaign
             gc.safeMath = true;
             auto seed = gen::generateProgram(gc);
             ubgen::UBGenerator ubg(*seed);
-            if (!ubg.profiled())
+            if (!ubg.profiled()) {
+                stats_.unprofiledSeeds++;
                 break;
+            }
             auto programs = ubg.generateAll(rng, cfg_.capPerKind);
             for (auto &ub : programs) {
                 if (!ubgen::validateUBProgram(ub)) {
@@ -192,7 +209,8 @@ class Campaign
     classifyAndTest(std::unique_ptr<ast::Program> prog)
     {
         ast::PrintedProgram printed = ast::printProgram(*prog);
-        ir::Module mod = ir::lowerProgram(*prog, printed.map);
+        ir::Module mod =
+            compiler::lowerOnce(*prog, printed, &stats_.compile);
         vm::ExecOptions opts;
         opts.groundTruth = true;
         opts.stepLimit = cfg_.stepLimit;
@@ -205,6 +223,8 @@ class Campaign
         item.program = std::move(prog);
         item.kind = kindOfReport(r.report);
         item.gtLoc = r.reportLoc;
+        item.printed = std::move(printed);
+        item.baseModule = std::move(mod);
         testItem(std::move(item));
     }
 
@@ -214,9 +234,18 @@ class Campaign
         stats_.ubPrograms++;
         stats_.perKind[static_cast<size_t>(item.kind)]++;
 
-        ast::PrintedProgram printed = ast::printProgram(*item.program);
+        ast::PrintedProgram printed =
+            item.printed ? std::move(*item.printed)
+                         : ast::printProgram(*item.program);
         SourceLoc ub_loc =
             item.siteId ? printed.map.loc(item.siteId) : item.gtLoc;
+
+        // One cache per tested program: every sanitizer row of the
+        // matrix below shares a single lowering and one early-opt run
+        // per (vendor, level).
+        compiler::CompilationCache cache(*item.program, printed);
+        if (item.baseModule)
+            cache.adoptBase(std::move(*item.baseModule));
 
         bool program_discrepant = false;
         bool program_selected = false;
@@ -231,7 +260,7 @@ class Campaign
                               });
             }
             oracle::DifferentialResult diff = oracle::runDifferential(
-                *item.program, printed, configs, cfg_.stepLimit);
+                cache, configs, cfg_.stepLimit);
 
             // Wrong-report detection: a binary reports, but at the
             // wrong location, and a wrong-line-information defect
@@ -299,6 +328,7 @@ class Campaign
             stats_.discrepantPrograms++;
         if (program_selected)
             stats_.oracleSelectedPrograms++;
+        stats_.compile.merge(cache.stats());
     }
 };
 
@@ -324,6 +354,7 @@ void
 mergeCampaignStats(CampaignStats &into, CampaignStats &&from)
 {
     into.seeds += from.seeds;
+    into.unprofiledSeeds += from.unprofiledSeeds;
     into.ubPrograms += from.ubPrograms;
     for (size_t k = 0; k < ubgen::kNumUBKinds; k++)
         into.perKind[k] += from.perKind[k];
@@ -349,6 +380,7 @@ mergeCampaignStats(CampaignStats &into, CampaignStats &&from)
     into.wrongReportBugs.insert(from.wrongReportBugs.begin(),
                                 from.wrongReportBugs.end());
     into.invalidFindings += from.invalidFindings;
+    into.compile.merge(from.compile);
     for (auto &rec : from.findings) {
         if (into.findings.size() >= 200)
             break;

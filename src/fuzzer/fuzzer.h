@@ -94,7 +94,14 @@ struct FindingRecord
 
 struct CampaignStats
 {
+    /** Seed programs attempted (including unprofiled ones). */
     size_t seeds = 0;
+    /**
+     * Seeds whose UBGen profiling failed, so no UB program was derived
+     * from them. Kept separate from `seeds` so generator-yield
+     * denominators (Table 4) divide by productive seeds, not attempts.
+     */
+    size_t unprofiledSeeds = 0;
     /** UB programs actually tested (validated / classified). */
     size_t ubPrograms = 0;
     size_t perKind[ubgen::kNumUBKinds] = {};
@@ -130,7 +137,22 @@ struct CampaignStats
 
     std::vector<FindingRecord> findings; ///< capped sample
 
+    /**
+     * Staged-compiler execution counters: how many lowerings, early-opt
+     * runs, and specializations the campaign actually performed. The
+     * compile-once/specialize-many win is `earlyOptCacheHits` high and
+     * `lowerings` equal to the number of tested programs.
+     */
+    compiler::CompileStats compile;
+
     size_t distinctBugsFound() const { return bugFindingCounts.size(); }
+
+    /** Seeds that produced at least a profile (Table 4 denominator). */
+    size_t
+    productiveSeeds() const
+    {
+        return seeds - unprofiledSeeds;
+    }
 };
 
 /**

@@ -45,6 +45,15 @@ opcodeName(Opcode op)
     return "?";
 }
 
+Module
+cloneModule(const Module &m)
+{
+    // Module owns all of its state by value, so the copy constructor
+    // performs the deep clone; see the declaration for why the
+    // operation still deserves a name.
+    return m;
+}
+
 uint64_t
 canonicalValue(uint64_t raw, ScalarKind k)
 {

@@ -26,6 +26,7 @@
 
 #include "ast/ast.h"
 #include "support/source_loc.h"
+#include "support/toolchain.h"
 
 namespace ubfuzz::ir {
 
@@ -252,6 +253,14 @@ struct Module
     /** ASan redzones + poisoning for heap allocations when true. */
     bool asanHeap = false;
     MsanPolicy msan;
+    /**
+     * Which sanitizer pass instrumented this module (None until the
+     * sanitizer stage runs). The staged compiler reuses lowered and
+     * early-optimized modules across configurations by cloning them;
+     * this field lets san::instrument reject the double
+     * instrumentation a missing clone would silently cause.
+     */
+    SanitizerKind instrumentedWith = SanitizerKind::None;
 
     Function *
     findFunction(const std::string &name)
@@ -262,6 +271,15 @@ struct Module
         return nullptr;
     }
 };
+
+/**
+ * Deep-copy a module. Module is value-semantic throughout (vectors of
+ * plain structs, no pointers), so a copy *is* a deep clone; this
+ * function exists to make the staged compiler's clone points explicit
+ * and greppable — every specialization of a shared/cached module must
+ * go through it.
+ */
+Module cloneModule(const Module &m);
 
 /** Canonical 64-bit representation of a value of kind @p k
  *  (truncate to the kind's width, then sign- or zero-extend). */

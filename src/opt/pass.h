@@ -14,6 +14,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ir/ir.h"
@@ -67,6 +68,30 @@ std::vector<std::unique_ptr<Pass>> buildPipeline(Vendor vendor,
 void runPipeline(ir::Module &m,
                  const std::vector<std::unique_ptr<Pass>> &pipeline,
                  int iterations = 1);
+
+/** Fixpoint rounds the Figure 2 pipeline grants @p stage at @p level
+ *  (-O2 and up run the early optimizer twice). */
+int stageIterations(OptLevel level, Stage stage);
+
+/** Build and run the @p stage pipeline for (vendor, level) on @p m —
+ *  the one entry point the staged compiler uses for both halves. */
+void runStagePipeline(ir::Module &m, Vendor vendor, OptLevel level,
+                      Stage stage);
+
+/**
+ * The representative (vendor, level) whose *early* pipeline is
+ * identical — same pass list, same fixpoint rounds — to the given
+ * point's. Both vendors run bare constant folding at -O0, and LLVM's
+ * early pipeline only changes shape at the -O2 boundary, so -O0 is
+ * vendor-independent, LLVM -Os folds into -O1, and LLVM -O3 into -O2.
+ * The CompilationCache keys early-opt modules by this point, letting
+ * equivalent matrix columns share one optimizer run.
+ *
+ * Must be kept in sync with buildPipeline and stageIterations; the
+ * test suite cross-checks the equivalence on generated programs.
+ */
+std::pair<Vendor, OptLevel> canonicalEarlyOptPoint(Vendor vendor,
+                                                   OptLevel level);
 
 } // namespace ubfuzz::opt
 

@@ -13,22 +13,21 @@ crashSiteMapping(SourceLoc crashSite,
 }
 
 DifferentialResult
-runDifferential(const ast::Program &program,
-                const ast::PrintedProgram &printed,
+runDifferential(compiler::CompilationCache &cache,
                 const std::vector<compiler::CompilerConfig> &configs,
                 uint64_t stepLimit)
 {
     DifferentialResult result;
     result.outcomes.reserve(configs.size());
     for (const compiler::CompilerConfig &cfg : configs) {
-        compiler::Binary binary =
-            compiler::compile(program, printed, cfg);
+        compiler::Binary binary = cache.compile(cfg);
         vm::ExecOptions opts;
         opts.stepLimit = stepLimit;
         ConfigOutcome outcome;
         outcome.config = cfg;
         outcome.log = std::move(binary.log);
-        outcome.result = vm::execute(binary.module, opts);
+        outcome.module = std::move(binary.module);
+        outcome.result = vm::execute(outcome.module, opts);
         result.outcomes.push_back(std::move(outcome));
     }
 
@@ -44,15 +43,17 @@ runDifferential(const ast::Program &program,
     if (crashing.empty() || silent.empty())
         return result;
 
-    // Trace each silent binary once (the debugger run).
+    // Trace each silent binary once (the debugger run): re-execute the
+    // retained module with tracing on — compilation is deterministic,
+    // so this is exactly the binary that ran silently above.
     std::vector<std::vector<SourceLoc>> traces(silent.size());
     for (size_t k = 0; k < silent.size(); k++) {
-        compiler::Binary binary = compiler::compile(
-            program, printed, result.outcomes[silent[k]].config);
         vm::ExecOptions opts;
         opts.stepLimit = stepLimit;
         opts.recordTrace = true;
-        traces[k] = vm::execute(binary.module, opts).trace;
+        traces[k] =
+            vm::execute(result.outcomes[silent[k]].module, opts).trace;
+        cache.noteTraceExecution();
     }
 
     for (size_t ci : crashing) {
@@ -66,6 +67,16 @@ runDifferential(const ast::Program &program,
         }
     }
     return result;
+}
+
+DifferentialResult
+runDifferential(const ast::Program &program,
+                const ast::PrintedProgram &printed,
+                const std::vector<compiler::CompilerConfig> &configs,
+                uint64_t stepLimit)
+{
+    compiler::CompilationCache cache(program, printed);
+    return runDifferential(cache, configs, stepLimit);
 }
 
 std::vector<compiler::CompilerConfig>

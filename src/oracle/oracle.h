@@ -38,6 +38,12 @@ struct ConfigOutcome
     compiler::CompilerConfig config;
     san::CompileLog log;
     vm::ExecResult result;
+    /**
+     * The compiled binary itself, retained so the debugger pass (§3.3)
+     * can re-execute it with tracing enabled instead of compiling the
+     * same configuration a second time.
+     */
+    ir::Module module;
 };
 
 /** A (crashing, non-crashing) pair with the oracle verdict. */
@@ -68,11 +74,21 @@ struct DifferentialResult
 };
 
 /**
- * Compile @p program under every configuration, execute, and apply
- * crash-site mapping to every discrepant pair. Non-crashing binaries
- * of discrepant pairs are re-executed with tracing enabled (the
- * "debugger" pass of §3.3).
+ * Compile the cache's program under every configuration, execute, and
+ * apply crash-site mapping to every discrepant pair. Non-crashing
+ * binaries of discrepant pairs are re-executed with tracing enabled
+ * (the "debugger" pass of §3.3) using the module retained in their
+ * ConfigOutcome — no configuration is ever compiled twice, and the
+ * cache shares lowering/early-opt work across calls (the campaign
+ * passes one cache per program through its whole sanitizer matrix).
  */
+DifferentialResult
+runDifferential(compiler::CompilationCache &cache,
+                const std::vector<compiler::CompilerConfig> &configs,
+                uint64_t stepLimit = 2'000'000);
+
+/** Convenience overload for one-off callers: builds a throwaway
+ *  CompilationCache for @p program and delegates. */
 DifferentialResult
 runDifferential(const ast::Program &program,
                 const ast::PrintedProgram &printed,

@@ -5,6 +5,7 @@
 
 #include "sanitizer/pass_util.h"
 #include "support/coverage.h"
+#include "support/diagnostics.h"
 
 namespace ubfuzz::san {
 
@@ -329,6 +330,13 @@ runSanOpt(Module &m, const SanitizerContext &ctx)
 void
 instrument(Module &m, const SanitizerContext &ctx)
 {
+    // The staged compiler hands out cached modules for specialization;
+    // each must be cloned first, and a module that already went through
+    // a sanitizer pass can never go through one again.
+    UBF_ASSERT(m.instrumentedWith == SanitizerKind::None,
+               "module already instrumented with ",
+               sanitizerName(m.instrumentedWith),
+               " (missing ir::cloneModule before specialize?)");
     switch (ctx.kind) {
       case SanitizerKind::None:
         return;
@@ -342,6 +350,7 @@ instrument(Module &m, const SanitizerContext &ctx)
         runMsanPass(m, ctx);
         break;
     }
+    m.instrumentedWith = ctx.kind;
     runSanOpt(m, ctx);
 }
 

@@ -9,6 +9,7 @@
 
 #include "compiler/compiler.h"
 #include "frontend/parser.h"
+#include "sanitizer/sanitizer.h"
 #include "vm/vm.h"
 
 namespace ubfuzz {
@@ -386,6 +387,126 @@ int main(void) {
         *prog, cfg(Vendor::GCC, OptLevel::O0, SanitizerKind::ASan, 1));
     ExecResult r = run(b);
     EXPECT_NE(r.kind, ExecResult::Kind::Report) << r.str();
+}
+
+/** The Figure 1 program: stack/global overflow with sanitizer action
+ *  at every level — a good workout for the full matrix. */
+const char *kStagedSrc = R"(struct a {
+    int x;
+};
+struct a b[2];
+struct a *c = &b[0];
+struct a *d = &b[0];
+int k = 0;
+int main(void) {
+    *c = b[0];
+    k = 2;
+    *c = *(d + k);
+    return c->x;
+}
+)";
+
+/**
+ * The whole point of the staged pipeline: a CompilationCache must hand
+ * back bit-identical binaries (module text, compile log, and runtime
+ * behaviour) to the uncached compile, for every configuration of the
+ * full sanitizer matrix.
+ */
+TEST(StagedPipeline, CacheMatchesMonolithicCompile)
+{
+    auto prog = frontend::parseOrDie(kStagedSrc);
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    compiler::CompilationCache cache(*prog, printed);
+    for (SanitizerKind s :
+         {SanitizerKind::None, SanitizerKind::ASan, SanitizerKind::UBSan,
+          SanitizerKind::MSan}) {
+        for (Vendor v : {Vendor::GCC, Vendor::LLVM}) {
+            if (!vendorSupports(v, s))
+                continue;
+            for (OptLevel l : kAllOptLevels) {
+                Binary mono = compiler::compile(*prog, printed,
+                                                cfg(v, l, s));
+                Binary staged = cache.compile(cfg(v, l, s));
+                ASSERT_EQ(ir::printModule(mono.module),
+                          ir::printModule(staged.module))
+                    << cfg(v, l, s).str();
+                ASSERT_EQ(mono.log.firings.size(),
+                          staged.log.firings.size())
+                    << cfg(v, l, s).str();
+                for (size_t i = 0; i < mono.log.firings.size(); i++) {
+                    EXPECT_EQ(mono.log.firings[i].id,
+                              staged.log.firings[i].id);
+                    EXPECT_EQ(mono.log.firings[i].loc,
+                              staged.log.firings[i].loc);
+                }
+                ExecResult rm = run(mono), rs = run(staged);
+                EXPECT_EQ(rm.str(), rs.str()) << cfg(v, l, s).str();
+            }
+        }
+    }
+}
+
+/** Counter accounting: one lowering per program, one early-opt run per
+ *  equivalence class, one specialization per binary. */
+TEST(StagedPipeline, CacheReusesLoweringAndEarlyOpt)
+{
+    auto prog = frontend::parseOrDie(kStagedSrc);
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    compiler::CompilationCache cache(*prog, printed);
+    size_t compiles = 0;
+    for (SanitizerKind s : {SanitizerKind::ASan, SanitizerKind::UBSan,
+                            SanitizerKind::MSan}) {
+        for (Vendor v : {Vendor::GCC, Vendor::LLVM}) {
+            if (!vendorSupports(v, s))
+                continue;
+            for (OptLevel l : kAllOptLevels) {
+                cache.compile(cfg(v, l, s));
+                compiles++;
+            }
+        }
+    }
+    // ASan 10 + UBSan 10 + MSan 5 configurations...
+    EXPECT_EQ(compiles, 25u);
+    EXPECT_EQ(cache.stats().specializations, 25u);
+    // ...share one lowering and 7 early-opt classes (shared -O0, four
+    // GCC levels, LLVM {O1,Os} and {O2,O3}).
+    EXPECT_EQ(cache.stats().lowerings, 1u);
+    EXPECT_EQ(cache.stats().earlyOptRuns, 7u);
+    EXPECT_EQ(cache.stats().earlyOptCacheHits, 18u);
+}
+
+/** cloneModule must be a deep copy: mutating the clone (or
+ *  instrumenting it) leaves the original untouched. */
+TEST(StagedPipeline, CloneModuleIsolatesMutation)
+{
+    auto prog = frontend::parseOrDie(kStagedSrc);
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    ir::Module base = compiler::lowerOnce(*prog, printed);
+    std::string before = ir::printModule(base);
+    ir::Module clone = ir::cloneModule(base);
+    compiler::Binary b =
+        compiler::specialize(clone, cfg(Vendor::GCC, OptLevel::O2,
+                                        SanitizerKind::ASan));
+    // The specialized binary gained sanitizer instructions; neither the
+    // clone it came from nor the base module changed.
+    EXPECT_EQ(b.module.instrumentedWith, SanitizerKind::ASan);
+    EXPECT_EQ(clone.instrumentedWith, SanitizerKind::None);
+    EXPECT_EQ(ir::printModule(base), before);
+    EXPECT_EQ(ir::printModule(clone), before);
+}
+
+/** Double instrumentation (a missing clone) must be caught loudly. */
+TEST(StagedPipelineDeathTest, ReinstrumentingPanics)
+{
+    auto prog = frontend::parseOrDie(kStagedSrc);
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    compiler::Binary b = compiler::compile(
+        *prog, printed, cfg(Vendor::GCC, OptLevel::O0,
+                            SanitizerKind::ASan));
+    san::SanitizerContext ctx;
+    ctx.kind = SanitizerKind::ASan;
+    EXPECT_DEATH_IF_SUPPORTED(san::instrument(b.module, ctx),
+                              "already instrumented");
 }
 
 } // namespace

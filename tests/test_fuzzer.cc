@@ -35,6 +35,56 @@ TEST(Campaign, UBFuzzFindsInjectedBugs)
     EXPECT_GT(stats.selectedTrueBug, stats.selectedOptimization);
 }
 
+TEST(Campaign, CompileOnceAccounting)
+{
+    CampaignConfig cfg;
+    cfg.seed = 11;
+    cfg.numSeeds = 8;
+    cfg.capPerKind = 2;
+    CampaignStats stats = runCampaign(cfg);
+
+    // Compile-once/specialize-many: exactly one lowering per tested
+    // program, early-opt shared across the whole sanitizer matrix, and
+    // every debugger trace a re-execution rather than a recompile.
+    EXPECT_EQ(stats.compile.lowerings, stats.ubPrograms);
+    EXPECT_LT(stats.compile.earlyOptRuns,
+              stats.compile.specializations);
+    EXPECT_GT(stats.compile.earlyOptCacheHits, 0u);
+    EXPECT_GT(stats.compile.specializations, 0u);
+    EXPECT_EQ(stats.unprofiledSeeds, 0u);
+    EXPECT_EQ(stats.productiveSeeds(), stats.seeds);
+}
+
+TEST(KindOfReport, MapsEveryReportKindExplicitly)
+{
+    using R = vm::ReportKind;
+    using K = ubgen::UBKind;
+    EXPECT_EQ(kindOfReport(R::ArrayIndexOOB), K::BufferOverflowArray);
+    EXPECT_EQ(kindOfReport(R::StackBufferOverflow),
+              K::BufferOverflowPointer);
+    EXPECT_EQ(kindOfReport(R::GlobalBufferOverflow),
+              K::BufferOverflowPointer);
+    EXPECT_EQ(kindOfReport(R::HeapBufferOverflow),
+              K::BufferOverflowPointer);
+    EXPECT_EQ(kindOfReport(R::HeapUseAfterFree), K::UseAfterFree);
+    EXPECT_EQ(kindOfReport(R::StackUseAfterScope), K::UseAfterScope);
+    EXPECT_EQ(kindOfReport(R::NullDeref), K::NullPtrDeref);
+    EXPECT_EQ(kindOfReport(R::SignedIntegerOverflow),
+              K::IntegerOverflow);
+    EXPECT_EQ(kindOfReport(R::ShiftOutOfBounds), K::ShiftOverflow);
+    EXPECT_EQ(kindOfReport(R::DivByZero), K::DivideByZero);
+    // The one that used to fall through the default arm:
+    EXPECT_EQ(kindOfReport(R::UninitValue), K::UseOfUninitMemory);
+}
+
+TEST(KindOfReportDeathTest, NoneIsNotAReport)
+{
+    // ReportKind::None used to be silently mislabeled as
+    // use-of-uninitialized-memory; now it panics.
+    EXPECT_DEATH_IF_SUPPORTED(kindOfReport(vm::ReportKind::None),
+                              "not a sanitizer report");
+}
+
 TEST(Campaign, Deterministic)
 {
     CampaignConfig cfg;
@@ -58,6 +108,9 @@ TEST(Campaign, JulietFindsNoBugs)
     EXPECT_EQ(stats.ubPrograms, corpus::julietSuite().size());
     // ...but none reveals an injected sanitizer bug (§4.3).
     EXPECT_EQ(stats.distinctBugsFound(), 0u);
+    // The testing matrix adopts the ground-truth classifier's
+    // lowering: one per case, none redone.
+    EXPECT_EQ(stats.compile.lowerings, stats.ubPrograms);
 }
 
 TEST(Campaign, MusicMostlyGeneratesNoUB)

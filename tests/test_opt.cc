@@ -5,10 +5,13 @@
  * (the "optimizers assume no UB" behaviour of §1 Challenge 2).
  */
 
+#include <set>
+
 #include <gtest/gtest.h>
 
 #include "ast/printer.h"
 #include "frontend/parser.h"
+#include "generator/generator.h"
 #include "ir/lowering.h"
 #include "opt/pass.h"
 #include "vm/vm.h"
@@ -295,6 +298,56 @@ int main(void) {
 INSTANTIATE_TEST_SUITE_P(VendorsLevels, PipelineSweep,
                          ::testing::Combine(::testing::Range(0, 2),
                                             ::testing::Range(0, 5)));
+
+/**
+ * The compile-once cache keys early-opt modules by
+ * canonicalEarlyOptPoint, so the claimed equivalences must really
+ * produce bit-identical modules. Check every matrix point against its
+ * representative on a spread of generated programs — if buildPipeline
+ * or stageIterations ever makes, say, LLVM -Os diverge from -O1, this
+ * is the test that fails.
+ */
+TEST(CanonicalEarlyOpt, RepresentativeProducesIdenticalModules)
+{
+    for (uint64_t seed : {11u, 222u, 3333u, 44444u}) {
+        gen::GeneratorConfig gc;
+        gc.seed = seed;
+        auto prog = gen::generateProgram(gc);
+        ast::PrintedProgram printed = ast::printProgram(*prog);
+        ir::Module base = ir::lowerProgram(*prog, printed.map);
+        for (Vendor v : {Vendor::GCC, Vendor::LLVM}) {
+            for (OptLevel l : kAllOptLevels) {
+                auto [cv, cl] = canonicalEarlyOptPoint(v, l);
+                ir::Module actual = ir::cloneModule(base);
+                runStagePipeline(actual, v, l, Stage::EarlyOpt);
+                ir::Module canon = ir::cloneModule(base);
+                runStagePipeline(canon, cv, cl, Stage::EarlyOpt);
+                EXPECT_EQ(ir::printModule(actual),
+                          ir::printModule(canon))
+                    << "seed " << seed << ": " << vendorName(v) << " "
+                    << optLevelName(l) << " vs canonical "
+                    << vendorName(cv) << " " << optLevelName(cl);
+            }
+        }
+    }
+}
+
+/** The canonicalization collapses the 10-point matrix to 7 early-opt
+ *  classes: shared -O0, four GCC levels, and two LLVM groups. */
+TEST(CanonicalEarlyOpt, ExpectedEquivalenceClasses)
+{
+    std::set<std::pair<Vendor, OptLevel>> points;
+    for (Vendor v : {Vendor::GCC, Vendor::LLVM})
+        for (OptLevel l : kAllOptLevels)
+            points.insert(canonicalEarlyOptPoint(v, l));
+    EXPECT_EQ(points.size(), 7u);
+    // A representative must map to itself (idempotence).
+    for (const auto &[v, l] : points) {
+        auto again = canonicalEarlyOptPoint(v, l);
+        EXPECT_EQ(again.first, v);
+        EXPECT_EQ(again.second, l);
+    }
+}
 
 } // namespace
 } // namespace ubfuzz::opt

@@ -101,6 +101,67 @@ TEST(Oracle, Figure3OptimizationIsRejected)
     }
 }
 
+/**
+ * The cache-driven differential runner is the campaign hot path; it
+ * must agree exactly with the one-off overload, retain an executable
+ * module per outcome, and do the whole matrix on a single lowering
+ * with zero recompiles for the debugger traces.
+ */
+TEST(Oracle, CachedDifferentialMatchesOneOffAndRetainsModules)
+{
+    auto prog = frontend::parseOrDie(R"(struct a {
+    int x;
+};
+struct a b[2];
+struct a *c = &b[0];
+struct a *d = &b[0];
+int k = 0;
+int main(void) {
+    *c = b[0];
+    k = 2;
+    *c = *(d + k);
+    return c->x;
+}
+)");
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    auto configs = testingMatrix(SanitizerKind::ASan);
+    DifferentialResult oneOff =
+        runDifferential(*prog, printed, configs);
+
+    compiler::CompilationCache cache(*prog, printed);
+    DifferentialResult cached = runDifferential(cache, configs);
+
+    ASSERT_EQ(oneOff.outcomes.size(), cached.outcomes.size());
+    for (size_t i = 0; i < oneOff.outcomes.size(); i++) {
+        EXPECT_EQ(oneOff.outcomes[i].result.str(),
+                  cached.outcomes[i].result.str());
+        EXPECT_EQ(ir::printModule(oneOff.outcomes[i].module),
+                  ir::printModule(cached.outcomes[i].module));
+    }
+    ASSERT_EQ(oneOff.verdicts.size(), cached.verdicts.size());
+    for (size_t i = 0; i < oneOff.verdicts.size(); i++) {
+        EXPECT_EQ(oneOff.verdicts[i].crashingIdx,
+                  cached.verdicts[i].crashingIdx);
+        EXPECT_EQ(oneOff.verdicts[i].nonCrashingIdx,
+                  cached.verdicts[i].nonCrashingIdx);
+        EXPECT_EQ(oneOff.verdicts[i].isBug, cached.verdicts[i].isBug);
+    }
+
+    // Compile-once accounting: one lowering for the 10-config matrix,
+    // and the debugger traces re-executed retained modules instead of
+    // compiling any silent binary a second time.
+    EXPECT_EQ(cache.stats().lowerings, 1u);
+    EXPECT_EQ(cache.stats().specializations, configs.size());
+    EXPECT_GT(cache.stats().traceExecutions, 0u);
+
+    // The retained module is the executed binary: re-running it
+    // reproduces the recorded outcome.
+    for (const auto &oc : cached.outcomes) {
+        vm::ExecResult again = vm::execute(oc.module);
+        EXPECT_EQ(again.str(), oc.result.str()) << oc.config.str();
+    }
+}
+
 /** No discrepancy at all when every configuration reports. */
 TEST(Oracle, ConsistentReportsAreNoDiscrepancy)
 {

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Reducer and MUSIC-mutator tests: reduction keeps the original
+ * finding alive and shrinks the program deterministically; MUSIC
+ * mutants are a pure function of (seed program, RNG stream).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "frontend/parser.h"
+#include "generator/generator.h"
+#include "ir/lowering.h"
+#include "mutation/music.h"
+#include "reduce/reducer.h"
+#include "support/rng.h"
+#include "vm/vm.h"
+
+namespace ubfuzz {
+namespace {
+
+/** Ground-truth execution (the classifier the campaign uses). */
+vm::ExecResult
+groundTruth(const ast::Program &p)
+{
+    ast::PrintedProgram printed = ast::printProgram(p);
+    ir::Module mod = ir::lowerProgram(p, printed.map);
+    vm::ExecOptions opts;
+    opts.groundTruth = true;
+    opts.stepLimit = 1'000'000;
+    return vm::execute(mod, opts);
+}
+
+/** An OOB write padded with statements and globals the UB does not
+ *  depend on — exactly what a reducer must strip. */
+const char *kPaddedUBSrc = R"(int junk_global[8];
+int other_junk = 5;
+int keep[2];
+int helper(int v) {
+    return v * 2 + 1;
+}
+int main(void) {
+    int a = 1;
+    int b = 2;
+    junk_global[0] = a + b;
+    junk_global[1] = helper(junk_global[0]);
+    other_junk = junk_global[1] - a;
+    int i = 2;
+    keep[i] = 7;
+    return 0;
+}
+)";
+
+TEST(Reducer, ReducedProgramStillTriggersOriginalFinding)
+{
+    auto prog = frontend::parseOrDie(kPaddedUBSrc);
+    vm::ExecResult original = groundTruth(*prog);
+    ASSERT_EQ(original.kind, vm::ExecResult::Kind::Report)
+        << original.str();
+
+    reduce::Predicate interesting = [&](const ast::Program &p) {
+        vm::ExecResult r = groundTruth(p);
+        return r.kind == vm::ExecResult::Kind::Report &&
+               r.report == original.report;
+    };
+    reduce::ReduceStats stats;
+    auto reduced = reduce::reduceProgram(*prog, interesting, &stats);
+
+    // The finding survived reduction...
+    vm::ExecResult after = groundTruth(*reduced);
+    ASSERT_EQ(after.kind, vm::ExecResult::Kind::Report);
+    EXPECT_EQ(after.report, original.report);
+
+    // ...and the padding did not: the junk statements, the dead
+    // helper, and the dead globals are all gone.
+    std::string text = ast::programText(*reduced);
+    EXPECT_LT(text.size(), ast::programText(*prog).size());
+    EXPECT_EQ(text.find("junk_global"), std::string::npos) << text;
+    EXPECT_EQ(text.find("other_junk"), std::string::npos) << text;
+    EXPECT_EQ(text.find("helper"), std::string::npos) << text;
+    EXPECT_NE(text.find("keep[i]"), std::string::npos) << text;
+    EXPECT_GT(stats.statementsRemoved, 0);
+    EXPECT_GT(stats.globalsRemoved, 0);
+    EXPECT_GT(stats.functionsRemoved, 0);
+    EXPECT_GT(stats.predicateRuns, 0);
+}
+
+TEST(Reducer, ReductionIsDeterministic)
+{
+    auto prog = frontend::parseOrDie(kPaddedUBSrc);
+    vm::ExecResult original = groundTruth(*prog);
+    ASSERT_EQ(original.kind, vm::ExecResult::Kind::Report);
+    reduce::Predicate interesting = [&](const ast::Program &p) {
+        vm::ExecResult r = groundTruth(p);
+        return r.kind == vm::ExecResult::Kind::Report &&
+               r.report == original.report;
+    };
+
+    reduce::ReduceStats s1, s2;
+    auto r1 = reduce::reduceProgram(*prog, interesting, &s1);
+    auto r2 = reduce::reduceProgram(*prog, interesting, &s2);
+    EXPECT_EQ(ast::programText(*r1), ast::programText(*r2));
+    EXPECT_EQ(s1.statementsRemoved, s2.statementsRemoved);
+    EXPECT_EQ(s1.globalsRemoved, s2.globalsRemoved);
+    EXPECT_EQ(s1.functionsRemoved, s2.functionsRemoved);
+    EXPECT_EQ(s1.predicateRuns, s2.predicateRuns);
+}
+
+TEST(Reducer, UninterestingDeletionsAreRolledBack)
+{
+    // A predicate pinned to the exact report kind must keep the
+    // statements the UB depends on: reduce to (almost) nothing but the
+    // triggering write.
+    auto prog = frontend::parseOrDie(R"(int keep[2];
+int main(void) {
+    int i = 2;
+    keep[i] = 7;
+    return 0;
+}
+)");
+    vm::ExecResult original = groundTruth(*prog);
+    ASSERT_EQ(original.kind, vm::ExecResult::Kind::Report);
+    reduce::Predicate interesting = [&](const ast::Program &p) {
+        vm::ExecResult r = groundTruth(p);
+        return r.kind == vm::ExecResult::Kind::Report &&
+               r.report == original.report;
+    };
+    auto reduced = reduce::reduceProgram(*prog, interesting);
+    std::string text = ast::programText(*reduced);
+    EXPECT_NE(text.find("keep[i] = 7"), std::string::npos) << text;
+    vm::ExecResult after = groundTruth(*reduced);
+    EXPECT_EQ(after.report, original.report);
+}
+
+TEST(Music, MutantSequenceIsDeterministicInRngStream)
+{
+    gen::GeneratorConfig gc;
+    gc.seed = 77;
+    auto seed = gen::generateProgram(gc);
+
+    Rng r1(99), r2(99);
+    for (int i = 0; i < 10; i++) {
+        auto m1 = mutation::musicMutate(*seed, r1);
+        auto m2 = mutation::musicMutate(*seed, r2);
+        ASSERT_EQ(m1 == nullptr, m2 == nullptr) << "draw " << i;
+        if (!m1)
+            continue;
+        EXPECT_EQ(ast::programText(*m1), ast::programText(*m2))
+            << "draw " << i;
+        // Mutation never touches the seed program itself.
+        EXPECT_EQ(ast::programText(*seed),
+                  ast::programText(*gen::generateProgram(gc)));
+    }
+}
+
+TEST(Music, MutantClassificationIsDeterministic)
+{
+    // The Table 4 pipeline depends on (mutate -> classify) being a
+    // pure function of the RNG stream: same stream, same verdicts.
+    gen::GeneratorConfig gc;
+    gc.seed = 21;
+    auto seed = gen::generateProgram(gc);
+    auto classify = [&](uint64_t rngSeed) {
+        Rng rng(rngSeed);
+        std::string verdicts;
+        for (int i = 0; i < 8; i++) {
+            auto m = mutation::musicMutate(*seed, rng);
+            if (!m) {
+                verdicts += "skip;";
+                continue;
+            }
+            verdicts += groundTruth(*m).str() + ";";
+        }
+        return verdicts;
+    };
+    EXPECT_EQ(classify(5), classify(5));
+    EXPECT_EQ(classify(123), classify(123));
+}
+
+} // namespace
+} // namespace ubfuzz
