@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Execution-engine microbenchmark: what does per-execution setup cost,
+ * and what does the batched engine save?
+ *
+ *   ./build/bench/bench_exec [--runs N]
+ *
+ * Two scenarios over the same compiled binaries:
+ *  - unbatched: vm::execute per run — every run rebuilds the machine
+ *    (stack arena + two shadow planes, 0xAA fill) from scratch;
+ *  - batched: one vm::Machine, reset() between runs — the construction
+ *    cost is paid once and each reset restores only the bytes the
+ *    previous run dirtied.
+ *
+ * Also runs one real differential matrix through an ExecutionPlan and
+ * prints the engine counters, so the dedup-skip behavior is visible
+ * outside a full campaign.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+
+#include "ast/printer.h"
+#include "bench_util.h"
+#include "compiler/compiler.h"
+#include "generator/generator.h"
+#include "oracle/oracle.h"
+#include "vm/vm.h"
+
+using namespace ubfuzz;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int runs = 300;
+    for (int i = 1; i < argc; i++) {
+        if (!std::strcmp(argv[i], "--runs") && i + 1 < argc) {
+            char *end = nullptr;
+            long v = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || v < 1) {
+                std::fprintf(stderr, "--runs: invalid number '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+            runs = static_cast<int>(v);
+        } else {
+            std::fprintf(stderr, "usage: %s [--runs N]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    // A representative binary: a generated seed program at gcc -O2.
+    gen::GeneratorConfig gc;
+    gc.seed = 20240427;
+    gc.safeMath = true;
+    auto prog = gen::generateProgram(gc);
+    compiler::CompilerConfig cc;
+    cc.level = OptLevel::O2;
+    compiler::Binary bin = compiler::compileProgram(*prog, cc);
+
+    bench::header("per-execution setup cost (batched vs unbatched)");
+    std::printf("runs: %d\n", runs);
+
+    auto t0 = std::chrono::steady_clock::now();
+    uint64_t check = 0;
+    for (int i = 0; i < runs; i++)
+        check ^= vm::execute(bin.module).checksum;
+    double unbatched = secondsSince(t0);
+
+    vm::Machine machine;
+    t0 = std::chrono::steady_clock::now();
+    uint64_t check2 = 0;
+    for (int i = 0; i < runs; i++)
+        check2 ^= machine.run(bin.module).checksum;
+    double batched = secondsSince(t0);
+
+    if (check != check2) {
+        std::fprintf(stderr, "FAIL: batched checksum diverged\n");
+        return 1;
+    }
+    std::printf("unbatched:        %8.1f us/exec\n",
+                unbatched * 1e6 / runs);
+    std::printf("batched:          %8.1f us/exec  (%.2fx)\n",
+                batched * 1e6 / runs,
+                batched > 0 ? unbatched / batched : 0.0);
+    std::printf("machines built:   %zu (for %zu executions, %zu "
+                "resets)\n",
+                machine.stats().machinesBuilt,
+                machine.stats().executions, machine.stats().resets);
+
+    bench::rule();
+    bench::header("one differential matrix through an ExecutionPlan");
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    compiler::CompilationCache cache(*prog, printed);
+    vm::Machine shared;
+    auto configs = oracle::testingMatrix(SanitizerKind::ASan);
+    t0 = std::chrono::steady_clock::now();
+    oracle::DifferentialResult diff =
+        oracle::runDifferential(cache, shared, configs, 1'000'000);
+    double matrix = secondsSince(t0);
+    std::printf("configs:          %zu\n", diff.outcomes.size());
+    std::printf("elapsed:          %.3f ms\n", matrix * 1e3);
+    std::printf("executions:       %zu (dedup skips: %zu)\n",
+                shared.stats().executions, shared.stats().dedupSkips);
+    std::printf("machines built:   %zu, resets: %zu\n",
+                shared.stats().machinesBuilt, shared.stats().resets);
+    std::printf("timeouts:         %zu\n", diff.timeouts);
+    return 0;
+}

@@ -25,31 +25,6 @@ using namespace ubfuzz;
 
 namespace {
 
-/** Order-independent digest of the findings (FNV-1a over sorted keys). */
-uint64_t
-findingsDigest(const fuzzer::CampaignStats &stats)
-{
-    std::vector<fuzzer::FindingRecord> findings = stats.findings;
-    std::sort(findings.begin(), findings.end());
-    uint64_t h = 0xcbf29ce484222325ULL;
-    auto mix = [&h](uint64_t v) {
-        h = (h ^ v) * 0x100000001b3ULL;
-    };
-    for (const auto &f : findings) {
-        mix(static_cast<uint64_t>(f.kind));
-        mix(static_cast<uint64_t>(f.crashing.vendor));
-        mix(static_cast<uint64_t>(f.crashing.level));
-        mix(static_cast<uint64_t>(f.crashing.sanitizer));
-        mix(static_cast<uint64_t>(f.missing.vendor));
-        mix(static_cast<uint64_t>(f.missing.level));
-        mix(static_cast<uint64_t>(f.missing.sanitizer));
-        mix(static_cast<uint64_t>(static_cast<uint32_t>(f.ubLoc.line)));
-        mix(static_cast<uint64_t>(static_cast<uint32_t>(f.ubLoc.offset)));
-        mix(static_cast<uint64_t>(f.attributedBug + 1));
-    }
-    return h;
-}
-
 int
 intArg(int argc, char **argv, int &i, const char *flag)
 {
@@ -127,7 +102,20 @@ main(int argc, char **argv)
     // Every trace run used to be a second compile of a silent binary.
     std::printf("trace re-execs:   %zu (formerly recompiles)\n",
                 stats.compile.traceExecutions);
+    // Batched-execution counters: one machine per tested program (not
+    // one per run), cheap resets in between, and executions skipped
+    // when an identical binary already ran in the same matrix.
+    std::printf("machines built:   %zu\n", stats.exec.machinesBuilt);
+    std::printf("machine resets:   %zu\n", stats.exec.resets);
+    std::printf("executions:       %zu\n", stats.exec.executions);
+    std::printf("dedup skips:      %zu\n", stats.exec.dedupSkips);
+    std::printf("corpus replays:   %zu\n", stats.exec.corpusSkips);
+    std::printf("unique programs:  %zu (cross-seed duplicates: %zu)\n",
+                stats.uniquePrograms(), stats.corpusDuplicates);
+    std::printf("exec timeouts:    %zu (excluded from pairing: %zu)\n",
+                stats.execTimeouts, stats.timeoutExcluded);
     std::printf("finding digest:   %016llx\n",
-                static_cast<unsigned long long>(findingsDigest(stats)));
+                static_cast<unsigned long long>(
+                    fuzzer::findingsDigest(stats)));
     return 0;
 }

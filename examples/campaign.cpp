@@ -3,10 +3,12 @@
  * A miniature fuzzing campaign from the command line:
  *
  *   ./build/examples/campaign [numSeeds] [source] [--jobs N]
+ *                             [--step-limit N]
  *
  * where source is one of: ubfuzz (default), music, nosafe, juliet.
  * --jobs shards the seeds over a worker pool (0 = all hardware
- * threads) without changing the results. Prints the campaign
+ * threads) without changing the results; --step-limit bounds every
+ * differential execution (default 1000000 steps). Prints the campaign
  * statistics and the injected bugs it pinned.
  */
 
@@ -32,6 +34,20 @@ parseInt(const char *what, const char *text)
     return static_cast<int>(v);
 }
 
+/** Same strict policy for 64-bit values: "4O0" must abort, and a step
+ *  limit of zero would run nothing, so it is rejected too. */
+uint64_t
+parseU64(const char *what, const char *text)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || v == 0) {
+        std::fprintf(stderr, "%s: invalid number '%s'\n", what, text);
+        std::exit(2);
+    }
+    return static_cast<uint64_t>(v);
+}
+
 } // namespace
 
 int
@@ -49,6 +65,12 @@ main(int argc, char **argv)
                 return 2;
             }
             cfg.jobs = parseInt("--jobs", argv[++i]);
+        } else if (!std::strcmp(argv[i], "--step-limit")) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--step-limit requires a value\n");
+                return 2;
+            }
+            cfg.stepLimit = parseU64("--step-limit", argv[++i]);
         } else if (positional == 0) {
             cfg.numSeeds = parseInt("numSeeds", argv[i]);
             positional++;
@@ -63,9 +85,10 @@ main(int argc, char **argv)
         }
     }
 
-    std::printf("campaign: %d seeds, source=%s, jobs=%d\n", cfg.numSeeds,
-                fuzzer::sourceModeName(cfg.source),
-                fuzzer::resolveJobs(cfg.jobs));
+    std::printf("campaign: %d seeds, source=%s, jobs=%d, step limit %llu\n",
+                cfg.numSeeds, fuzzer::sourceModeName(cfg.source),
+                fuzzer::resolveJobs(cfg.jobs),
+                static_cast<unsigned long long>(cfg.stepLimit));
     fuzzer::CampaignStats stats = fuzzer::runCampaign(cfg);
 
     std::printf("\nUB programs tested:       %zu\n", stats.ubPrograms);
@@ -85,6 +108,9 @@ main(int argc, char **argv)
                 stats.discrepantPrograms);
     std::printf("oracle-selected programs: %zu\n",
                 stats.oracleSelectedPrograms);
+    std::printf("exec timeouts:            %zu (excluded from "
+                "pairing: %zu)\n",
+                stats.execTimeouts, stats.timeoutExcluded);
     std::printf("distinct bugs found:      %zu\n",
                 stats.distinctBugsFound());
     for (const auto &[id, n] : stats.bugFindingCounts) {

@@ -88,6 +88,23 @@ compileProgram(const ast::Program &program, const CompilerConfig &config)
     return compile(program, printed, config);
 }
 
+uint64_t
+textHash(std::string_view text)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text)
+        h = (h ^ c) * 0x100000001b3ULL;
+    return h;
+}
+
+uint64_t
+CompilationCache::baseTextHash() const
+{
+    if (!baseTextHash_)
+        baseTextHash_ = textHash(printed_.text);
+    return *baseTextHash_;
+}
+
 Binary
 CompilationCache::compile(const CompilerConfig &config)
 {

@@ -30,6 +30,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "ast/ast.h"
@@ -161,6 +162,14 @@ Binary compileProgram(const ast::Program &program,
                       const CompilerConfig &config);
 
 /**
+ * FNV-1a over @p text. The campaign's corpus dedup keys tested
+ * programs by the hash of their printed text (the compiler's sole
+ * input besides the config), so the hash lives here next to the
+ * pipeline it fingerprints.
+ */
+uint64_t textHash(std::string_view text);
+
+/**
  * Per-program memoization of the compile-once stages: the lowered base
  * module, and the post-early-opt module per (vendor, level). One cache
  * serves a whole testing matrix — every sanitizer row reuses the same
@@ -189,6 +198,14 @@ class CompilationCache
     void noteTraceExecution() { stats_.traceExecutions++; }
 
     /**
+     * Hash of the printed base text every binary of this cache is
+     * compiled from (memoized textHash(printed.text)). Two caches with
+     * equal hashes compile identical binaries under every config —
+     * the key the campaign's cross-seed corpus dedup is built on.
+     */
+    uint64_t baseTextHash() const;
+
+    /**
      * Seed the lowered base module instead of lowering on first use,
      * for callers that already lowered the program (e.g. the
      * campaign's ground-truth classifier). @p base must be the result
@@ -208,6 +225,8 @@ class CompilationCache
     std::optional<ir::Module> base_;
     /** Post-early-opt modules keyed by (vendor, level). */
     std::map<std::pair<Vendor, OptLevel>, ir::Module> earlyOpt_;
+    /** Memoized textHash(printed_.text); computed on first use. */
+    mutable std::optional<uint64_t> baseTextHash_;
     CompileStats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "fuzzer/fuzzer.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "ast/printer.h"
@@ -137,7 +138,10 @@ unitRng(uint64_t campaignSeed, uint64_t index)
 class Campaign
 {
   public:
-    explicit Campaign(const CampaignConfig &cfg) : cfg_(cfg) {}
+    Campaign(const CampaignConfig &cfg, CorpusMemo *memo)
+        : cfg_(cfg), memo_(memo)
+    {
+    }
 
     /** Run one independent unit: a seed program, or a Juliet case. */
     CampaignStats
@@ -202,7 +206,20 @@ class Campaign
 
   private:
     CampaignConfig cfg_;
+    CorpusMemo *memo_ = nullptr;
     CampaignStats stats_;
+
+    /**
+     * One machine per unit for the ground-truth classifier: baseline
+     * modes classify many programs per seed (Music: every mutant), and
+     * each classification is a single execution — the rebuild cost
+     * vm::execute would pay per call dwarfs the run. Its work counters
+     * are deliberately not merged into CampaignStats::exec, which
+     * tracks the differential engine (one machine per *tested*
+     * program; the CI invariant machinesBuilt + corpusSkips ==
+     * ubPrograms depends on that).
+     */
+    vm::Machine classifyMachine_;
 
     /** Ground-truth classify a baseline program, then test if UB. */
     void
@@ -214,7 +231,7 @@ class Campaign
         vm::ExecOptions opts;
         opts.groundTruth = true;
         opts.stepLimit = cfg_.stepLimit;
-        vm::ExecResult r = vm::execute(mod, opts);
+        vm::ExecResult r = classifyMachine_.run(mod, opts);
         if (r.kind != vm::ExecResult::Kind::Report) {
             stats_.noUB++;
             return;
@@ -228,12 +245,17 @@ class Campaign
         testItem(std::move(item));
     }
 
+    /**
+     * Test one item through its whole sanitizer matrix — or, when an
+     * identical item (same printed text, kind, UB site) was already
+     * tested this campaign, replay the recorded stats delta instead.
+     * Replay is bit-identical to recomputing because the printed text
+     * is the compiler's entire input; only the execution work counters
+     * know the difference.
+     */
     void
     testItem(TestItem item)
     {
-        stats_.ubPrograms++;
-        stats_.perKind[static_cast<size_t>(item.kind)]++;
-
         ast::PrintedProgram printed =
             item.printed ? std::move(*item.printed)
                          : ast::printProgram(*item.program);
@@ -246,6 +268,47 @@ class Campaign
         compiler::CompilationCache cache(*item.program, printed);
         if (item.baseModule)
             cache.adoptBase(std::move(*item.baseModule));
+
+        CorpusKey key;
+        key.textHash = cache.baseTextHash();
+        key.textLen = printed.text.size();
+        key.kind = item.kind;
+        key.ubLoc = ub_loc;
+        if (stats_.corpusSeen[key]++ > 0)
+            stats_.corpusDuplicates++;
+
+        if (memo_ && cfg_.corpusDedup) {
+            if (auto delta = memo_->find(key)) {
+                stats_.exec.corpusSkips++;
+                detail::mergeCampaignStats(stats_,
+                                           CampaignStats(*delta));
+                return;
+            }
+        }
+
+        // One machine per UB program: the whole config matrix below —
+        // including the debugger re-executions — runs through it, with
+        // a cheap reset between runs instead of a rebuild.
+        vm::Machine machine;
+        CampaignStats delta;
+        testItemMatrix(std::move(item), ub_loc, cache, machine, delta);
+        stats_.exec.merge(machine.stats());
+        if (memo_ && cfg_.corpusDedup) {
+            memo_->insert(key,
+                          std::make_shared<const CampaignStats>(delta));
+        }
+        detail::mergeCampaignStats(stats_, std::move(delta));
+    }
+
+    /** The matrix proper; every statistic it produces goes into
+     *  @p delta so a corpus-dedup hit can replay it verbatim. */
+    void
+    testItemMatrix(TestItem item, SourceLoc ub_loc,
+                   compiler::CompilationCache &cache,
+                   vm::Machine &machine, CampaignStats &delta)
+    {
+        delta.ubPrograms++;
+        delta.perKind[static_cast<size_t>(item.kind)]++;
 
         bool program_discrepant = false;
         bool program_selected = false;
@@ -260,7 +323,9 @@ class Campaign
                               });
             }
             oracle::DifferentialResult diff = oracle::runDifferential(
-                cache, configs, cfg_.stepLimit);
+                cache, machine, configs, cfg_.stepLimit);
+            delta.execTimeouts += diff.timeouts;
+            delta.timeoutExcluded += diff.timeoutExcluded;
 
             // Wrong-report detection: a binary reports, but at the
             // wrong location, and a wrong-line-information defect
@@ -273,8 +338,8 @@ class Campaign
                     if (f.loc == ub_loc &&
                         san::bugInfo(f.id).category ==
                             san::BugCategory::WrongLineInformation) {
-                        stats_.wrongReports++;
-                        stats_.wrongReportBugs.insert(f.id);
+                        delta.wrongReports++;
+                        delta.wrongReportBugs.insert(f.id);
                         break;
                     }
                 }
@@ -285,7 +350,7 @@ class Campaign
             program_discrepant = true;
 
             for (const auto &v : diff.verdicts) {
-                stats_.verdictPairs++;
+                delta.verdictPairs++;
                 const oracle::ConfigOutcome &missing =
                     diff.outcomes[v.nonCrashingIdx];
                 int attributed =
@@ -293,17 +358,17 @@ class Campaign
                 bool gt_bug = attributed >= 0;
                 bool selected = cfg_.useOracle ? v.isBug : true;
                 if (!selected) {
-                    stats_.droppedPairs++;
+                    delta.droppedPairs++;
                     if (gt_bug)
-                        stats_.droppedTrueBug++;
+                        delta.droppedTrueBug++;
                     continue;
                 }
-                stats_.selectedPairs++;
+                delta.selectedPairs++;
                 program_selected = true;
                 if (gt_bug)
-                    stats_.selectedTrueBug++;
+                    delta.selectedTrueBug++;
                 else
-                    stats_.selectedOptimization++;
+                    delta.selectedOptimization++;
 
                 FindingRecord rec;
                 rec.kind = item.kind;
@@ -314,21 +379,21 @@ class Campaign
                 if (gt_bug) {
                     rec.attributedBug = attributed;
                     san::BugId id = static_cast<san::BugId>(attributed);
-                    stats_.bugFindingCounts[id]++;
-                    stats_.bugFirstKind.emplace(id, item.kind);
-                    stats_.bugLevels[id].insert(missing.config.level);
+                    delta.bugFindingCounts[id]++;
+                    delta.bugFirstKind.emplace(id, item.kind);
+                    delta.bugLevels[id].insert(missing.config.level);
                 } else {
-                    stats_.invalidFindings++;
+                    delta.invalidFindings++;
                 }
-                if (stats_.findings.size() < 200)
-                    stats_.findings.push_back(rec);
+                if (delta.findings.size() < 200)
+                    delta.findings.push_back(rec);
             }
         }
         if (program_discrepant)
-            stats_.discrepantPrograms++;
+            delta.discrepantPrograms++;
         if (program_selected)
-            stats_.oracleSelectedPrograms++;
-        stats_.compile.merge(cache.stats());
+            delta.oracleSelectedPrograms++;
+        delta.compile.merge(cache.stats());
     }
 };
 
@@ -345,9 +410,9 @@ campaignUnitCount(const CampaignConfig &config)
 }
 
 CampaignStats
-runCampaignUnit(const CampaignConfig &config, int index)
+runCampaignUnit(const CampaignConfig &config, int index, CorpusMemo *memo)
 {
-    return Campaign(config).runUnit(index);
+    return Campaign(config, memo).runUnit(index);
 }
 
 void
@@ -381,6 +446,22 @@ mergeCampaignStats(CampaignStats &into, CampaignStats &&from)
                                 from.wrongReportBugs.end());
     into.invalidFindings += from.invalidFindings;
     into.compile.merge(from.compile);
+    into.exec.merge(from.exec);
+    into.execTimeouts += from.execTimeouts;
+    into.timeoutExcluded += from.timeoutExcluded;
+    // Fold the corpus seen-set in unit order: occurrences of a key an
+    // earlier unit already tested are cross-seed duplicates. `from`'s
+    // own beyond-first occurrences are already in from.corpusDuplicates;
+    // a key collision additionally turns `from`'s first occurrence into
+    // a duplicate.
+    into.corpusDuplicates += from.corpusDuplicates;
+    for (const auto &[key, n] : from.corpusSeen) {
+        auto [it, inserted] = into.corpusSeen.emplace(key, n);
+        if (!inserted) {
+            it->second += n;
+            into.corpusDuplicates++;
+        }
+    }
     for (auto &rec : from.findings) {
         if (into.findings.size() >= 200)
             break;
@@ -389,6 +470,29 @@ mergeCampaignStats(CampaignStats &into, CampaignStats &&from)
 }
 
 } // namespace detail
+
+uint64_t
+findingsDigest(const CampaignStats &stats)
+{
+    std::vector<FindingRecord> findings = stats.findings;
+    std::sort(findings.begin(), findings.end());
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t v) { h = (h ^ v) * 0x100000001b3ULL; };
+    for (const auto &f : findings) {
+        mix(static_cast<uint64_t>(f.kind));
+        mix(static_cast<uint64_t>(f.crashing.vendor));
+        mix(static_cast<uint64_t>(f.crashing.level));
+        mix(static_cast<uint64_t>(f.crashing.sanitizer));
+        mix(static_cast<uint64_t>(f.missing.vendor));
+        mix(static_cast<uint64_t>(f.missing.level));
+        mix(static_cast<uint64_t>(f.missing.sanitizer));
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(f.ubLoc.line)));
+        mix(static_cast<uint64_t>(
+            static_cast<uint32_t>(f.ubLoc.offset)));
+        mix(static_cast<uint64_t>(f.attributedBug + 1));
+    }
+    return h;
+}
 
 CampaignStats
 runCampaign(const CampaignConfig &config)

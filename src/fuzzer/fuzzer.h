@@ -15,6 +15,8 @@
 #define UBFUZZ_FUZZER_FUZZER_H
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <tuple>
 #include <vector>
@@ -23,6 +25,7 @@
 #include "generator/generator.h"
 #include "sanitizer/bug_catalog.h"
 #include "ubgen/ubgen.h"
+#include "vm/vm.h"
 
 namespace ubfuzz::fuzzer {
 
@@ -45,6 +48,8 @@ struct CampaignConfig
     bool useOracle = true;
     /** Ablation: test only at -O0 (§1: misses higher-level bugs). */
     bool onlyO0 = false;
+    /** Step budget of every differential execution, plumbed end to end
+     *  (runDifferential -> ExecOptions); `--step-limit` on the CLI. */
     uint64_t stepLimit = 1'000'000;
     /**
      * Worker threads sharding the seeds. Results are identical for any
@@ -52,6 +57,50 @@ struct CampaignConfig
      * per-seed results merge in seed order. 1 runs on the caller.
      */
     int jobs = 1;
+    /**
+     * Cross-seed corpus dedup: identical UB programs (same printed
+     * text, kind, and UB site) replay the recorded stats of their
+     * first test instead of re-running the matrix. Never changes any
+     * logical statistic or the finding digest — only the work counters
+     * (ExecStats) — because identical text compiles and executes
+     * identically.
+     */
+    bool corpusDedup = true;
+};
+
+/**
+ * Identity of one tested (program, UB) item for corpus dedup. The
+ * printed text is the compiler's entire input, so (text hash, text
+ * length, kind, UB site) pin down the whole testing matrix's behavior;
+ * length and site make an accidental 64-bit hash collision practically
+ * impossible.
+ */
+struct CorpusKey
+{
+    uint64_t textHash = 0;
+    uint64_t textLen = 0;
+    ubgen::UBKind kind = ubgen::UBKind::BufferOverflowArray;
+    SourceLoc ubLoc;
+
+    auto
+    tie() const
+    {
+        return std::make_tuple(textHash, textLen,
+                               static_cast<int>(kind), ubLoc.line,
+                               ubLoc.offset);
+    }
+
+    friend bool
+    operator<(const CorpusKey &a, const CorpusKey &b)
+    {
+        return a.tie() < b.tie();
+    }
+
+    friend bool
+    operator==(const CorpusKey &a, const CorpusKey &b)
+    {
+        return a.tie() == b.tie();
+    }
 };
 
 /** One oracle-selected (program, missing-config) finding. */
@@ -145,7 +194,34 @@ struct CampaignStats
      */
     compiler::CompileStats compile;
 
+    /**
+     * Execution-engine work counters (vm::ExecStats): machines built
+     * (one per tested program, not one per run), resets between runs,
+     * dedup skips. Like `compile`, these count work actually performed
+     * — a rebuild-per-execution regression shows up here first.
+     */
+    vm::ExecStats exec;
+
+    /** Differential executions that hit the step limit. */
+    size_t execTimeouts = 0;
+    /** Timed-out binaries excluded from discrepancy pairing. */
+    size_t timeoutExcluded = 0;
+
+    /**
+     * Corpus identity multiset of this campaign (unit): every tested
+     * item's CorpusKey with its occurrence count. Units carry their own
+     * seen-sets; mergeCampaignStats folds them in seed order, counting
+     * occurrences of already-seen keys into `corpusDuplicates` — which
+     * keeps the cross-seed accounting bit-identical for any `--jobs`.
+     */
+    std::map<CorpusKey, size_t> corpusSeen;
+    /** Tested items whose key was already seen by an earlier item. */
+    size_t corpusDuplicates = 0;
+
     size_t distinctBugsFound() const { return bugFindingCounts.size(); }
+
+    /** Distinct (text, kind, site) identities tested this campaign. */
+    size_t uniquePrograms() const { return corpusSeen.size(); }
 
     /** Seeds that produced at least a profile (Table 4 denominator). */
     size_t
@@ -153,6 +229,65 @@ struct CampaignStats
     {
         return seeds - unprofiledSeeds;
     }
+};
+
+/**
+ * The campaign-wide corpus memo: CorpusKey -> the complete CampaignStats
+ * delta recorded when that item was first tested. A hit replays the
+ * delta instead of re-running the matrix.
+ *
+ * Determinism: a stored delta is a pure function of its key (identical
+ * printed text compiles and executes identically), so replaying is
+ * bit-identical to recomputing — which is why sharing the memo across
+ * concurrently running units cannot perturb any logical statistic or
+ * the finding digest, regardless of scheduling. Under `--jobs 1` every
+ * cross-seed duplicate hits; under `--jobs N` a duplicate being
+ * computed concurrently may be recomputed (identical result, slightly
+ * less work saved). Only the work counters (ExecStats) reflect that
+ * difference.
+ */
+class CorpusMemo
+{
+  public:
+    /** The recorded delta for @p key, or nullptr. */
+    std::shared_ptr<const CampaignStats>
+    find(const CorpusKey &key) const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(key);
+        return it == map_.end() ? nullptr : it->second;
+    }
+
+    /**
+     * Record @p delta for @p key; the first insertion wins, and the
+     * memo stops admitting new keys at kMaxEntries so a huge campaign
+     * cannot grow it without bound (an evicted-by-cap duplicate is
+     * simply recomputed — identical results, a little less work
+     * saved; the O(jobs) peak of the orchestrator's fold is intact).
+     */
+    void
+    insert(const CorpusKey &key,
+           std::shared_ptr<const CampaignStats> delta)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (map_.size() >= kMaxEntries)
+            return;
+        map_.emplace(key, std::move(delta));
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return map_.size();
+    }
+
+  private:
+    /** Memory bound: ~16k retained per-item deltas at most. */
+    static constexpr size_t kMaxEntries = 16384;
+
+    mutable std::mutex mu_;
+    std::map<CorpusKey, std::shared_ptr<const CampaignStats>> map_;
 };
 
 /**
@@ -164,13 +299,23 @@ CampaignStats runCampaign(const CampaignConfig &config);
 /** Map a ground-truth report to the UB kind taxonomy. */
 ubgen::UBKind kindOfReport(vm::ReportKind r);
 
+/**
+ * Order-independent digest of a campaign's findings (FNV-1a over the
+ * sorted records). The cross-PR invariant: the digest is identical for
+ * every `--jobs` value and unchanged by corpus dedup; bench_throughput
+ * prints it and CI asserts it.
+ */
+uint64_t findingsDigest(const CampaignStats &stats);
+
 namespace detail {
 
 /** Independent units a campaign shards over (seeds or Juliet cases). */
 int campaignUnitCount(const CampaignConfig &config);
 
-/** Run unit @p index on its own RNG stream split from `config.seed`. */
-CampaignStats runCampaignUnit(const CampaignConfig &config, int index);
+/** Run unit @p index on its own RNG stream split from `config.seed`.
+ *  @p memo is the campaign's shared corpus memo (may be null). */
+CampaignStats runCampaignUnit(const CampaignConfig &config, int index,
+                              CorpusMemo *memo = nullptr);
 
 /**
  * Fold @p from into @p into. Folding unit stats in increasing index

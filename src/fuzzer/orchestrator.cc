@@ -29,10 +29,19 @@ runCampaignParallel(const CampaignConfig &config)
     if (jobs > units)
         jobs = units;
 
+    // One corpus memo per campaign: identical UB programs derived from
+    // different seeds replay the first test's recorded stats instead of
+    // re-running the matrix. Sequential runs catch every cross-seed
+    // duplicate; sharded runs catch every one not being computed
+    // concurrently — either way the replayed delta is bit-identical to
+    // recomputation, so the results never depend on `jobs`.
+    CorpusMemo memo;
+
     if (jobs <= 1) {
-        for (int i = 0; i < units; i++)
-            detail::mergeCampaignStats(total,
-                                       detail::runCampaignUnit(config, i));
+        for (int i = 0; i < units; i++) {
+            detail::mergeCampaignStats(
+                total, detail::runCampaignUnit(config, i, &memo));
+        }
         return total;
     }
 
@@ -52,7 +61,8 @@ runCampaignParallel(const CampaignConfig &config)
             int i = cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= units)
                 return;
-            CampaignStats stats = detail::runCampaignUnit(config, i);
+            CampaignStats stats =
+                detail::runCampaignUnit(config, i, &memo);
             std::lock_guard<std::mutex> lock(foldMutex);
             pending.emplace(i, std::move(stats));
             while (!pending.empty() &&

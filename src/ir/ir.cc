@@ -224,6 +224,87 @@ printModule(const Module &m)
 }
 
 std::string
+executionKey(const Module &m)
+{
+    std::string key;
+    key.reserve(4096);
+    auto raw = [&key](const void *p, size_t n) {
+        key.append(static_cast<const char *>(p), n);
+    };
+    auto u64 = [&raw](uint64_t v) { raw(&v, sizeof(v)); };
+    auto val = [&u64](const Value &v) {
+        u64(static_cast<uint64_t>(v.tag));
+        u64(v.reg);
+        u64(v.imm);
+    };
+    u64(static_cast<uint64_t>(m.mainIndex));
+    u64(m.asanGlobals);
+    u64(m.asanHeap);
+    u64(m.msan.enabled);
+    u64(m.msan.bugSubConstDefined);
+    u64(m.msan.bugAndDefined);
+    u64(m.globals.size());
+    for (const GlobalObject &g : m.globals) {
+        u64(g.size);
+        u64(g.align);
+        u64(g.redzone);
+        u64(g.poisonSkip);
+        u64(g.declId);
+        u64(g.init.size());
+        raw(g.init.data(), g.init.size());
+        u64(g.relocs.size());
+        for (const GlobalObject::Reloc &r : g.relocs) {
+            u64(r.offset);
+            u64(r.targetIndex);
+            u64(static_cast<uint64_t>(r.addend));
+        }
+    }
+    u64(m.functions.size());
+    for (const Function &f : m.functions) {
+        u64(static_cast<uint64_t>(f.retKind));
+        u64(f.numParams);
+        u64(f.numRegs);
+        u64(f.frame.size());
+        for (const FrameObject &o : f.frame) {
+            u64(o.size);
+            u64(o.align);
+            u64(o.scoped);
+            u64(o.redzone);
+            u64(o.declId);
+        }
+        u64(f.blocks.size());
+        for (const BasicBlock &bb : f.blocks) {
+            u64(bb.id);
+            u64(bb.insts.size());
+            for (const Inst &i : bb.insts) {
+                u64(static_cast<uint64_t>(i.op));
+                u64(static_cast<uint64_t>(i.kind));
+                u64(i.dst);
+                u64(static_cast<uint64_t>(i.binOp));
+                val(i.a);
+                val(i.b);
+                val(i.c);
+                u64(i.imm);
+                u64(i.targets[0]);
+                u64(i.targets[1]);
+                u64(i.callee);
+                u64(i.object);
+                u64(i.flag);
+                u64(i.bound);
+                u64(i.args.size());
+                for (const Value &a : i.args)
+                    val(a);
+                u64(static_cast<uint64_t>(
+                    static_cast<uint32_t>(i.loc.line)));
+                u64(static_cast<uint64_t>(
+                    static_cast<uint32_t>(i.loc.offset)));
+            }
+        }
+    }
+    return key;
+}
+
+std::string
 verifyModule(const Module &m)
 {
     for (size_t fi = 0; fi < m.functions.size(); fi++) {

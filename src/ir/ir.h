@@ -299,6 +299,19 @@ uint64_t evalBinary(BinOp op, ScalarKind k, uint64_t a, uint64_t b,
 std::string printModule(const Module &m);
 
 /**
+ * Canonical serialization of every field the VM reads during
+ * execution: module flags (asanGlobals/asanHeap/MsanPolicy), global
+ * layout and contents (size, align, redzone, poisonSkip, init bytes,
+ * relocations), and the full instruction stream including debug
+ * locations. Two modules with equal keys are indistinguishable to
+ * vm::execute under every ExecOptions — which is what lets a batch
+ * runner execute one of them and reuse the result for the other.
+ * Names are deliberately excluded (the VM never reads them), so
+ * renamed-but-identical binaries still share a key.
+ */
+std::string executionKey(const Module &m);
+
+/**
  * Structural sanity check (register def-before-use inside blocks,
  * terminators present, branch targets valid). @return empty string when
  * the module is well-formed, else a description of the first problem.

@@ -1,5 +1,8 @@
 #include "oracle/oracle.h"
 
+#include <map>
+#include <string>
+
 namespace ubfuzz::oracle {
 
 bool
@@ -12,52 +15,102 @@ crashSiteMapping(SourceLoc crashSite,
     return false;
 }
 
-DifferentialResult
-runDifferential(compiler::CompilationCache &cache,
-                const std::vector<compiler::CompilerConfig> &configs,
-                uint64_t stepLimit)
+ExecutionPlan
+ExecutionPlan::compile(compiler::CompilationCache &cache,
+                       const std::vector<compiler::CompilerConfig> &configs)
 {
-    DifferentialResult result;
-    result.outcomes.reserve(configs.size());
+    ExecutionPlan plan;
+    plan.cache_ = &cache;
+    plan.outcomes_.reserve(configs.size());
+    plan.aliasOf_.reserve(configs.size());
+    // Map each binary's execution key to the first outcome that has
+    // it: later identical binaries alias their execution to it. Keyed
+    // by (hash, length) of the serialized key rather than the multi-KB
+    // key itself — the same collision-risk tradeoff the corpus dedup
+    // makes.
+    std::map<std::pair<uint64_t, uint64_t>, size_t> firstWithKey;
     for (const compiler::CompilerConfig &cfg : configs) {
         compiler::Binary binary = cache.compile(cfg);
-        vm::ExecOptions opts;
-        opts.stepLimit = stepLimit;
         ConfigOutcome outcome;
         outcome.config = cfg;
         outcome.log = std::move(binary.log);
         outcome.module = std::move(binary.module);
-        outcome.result = vm::execute(outcome.module, opts);
-        result.outcomes.push_back(std::move(outcome));
+        size_t idx = plan.outcomes_.size();
+        std::string key = ir::executionKey(outcome.module);
+        auto [it, inserted] = firstWithKey.emplace(
+            std::make_pair(compiler::textHash(key), key.size()), idx);
+        plan.aliasOf_.push_back(it->second);
+        plan.outcomes_.push_back(std::move(outcome));
+        (void)inserted;
+    }
+    return plan;
+}
+
+DifferentialResult
+ExecutionPlan::run(vm::Machine &machine, uint64_t stepLimit)
+{
+    DifferentialResult result;
+    // Execute each distinct binary once; identical binaries behave
+    // identically under every ExecOptions (see ir::executionKey), so
+    // aliases copy the root's result instead of re-running.
+    for (size_t i = 0; i < outcomes_.size(); i++) {
+        if (aliasOf_[i] != i) {
+            outcomes_[i].result = outcomes_[aliasOf_[i]].result;
+            machine.noteDedupSkip();
+            continue;
+        }
+        vm::ExecOptions opts;
+        opts.stepLimit = stepLimit;
+        outcomes_[i].result = machine.run(outcomes_[i].module, opts);
     }
 
-    // Find discrepant pairs: some binary reports, another does not.
+    // Find discrepant pairs: some binary reports, another does not. A
+    // timed-out binary is neither: it is excluded from pairing (and
+    // counted) rather than treated as a silent non-crasher.
     std::vector<size_t> crashing, silent;
-    for (size_t i = 0; i < result.outcomes.size(); i++) {
-        const vm::ExecResult &r = result.outcomes[i].result;
-        if (r.crashed())
+    std::vector<size_t> timedOut;
+    for (size_t i = 0; i < outcomes_.size(); i++) {
+        const vm::ExecResult &r = outcomes_[i].result;
+        if (r.kind == vm::ExecResult::Kind::Timeout)
+            timedOut.push_back(i);
+        else if (r.crashed())
             crashing.push_back(i);
-        else if (r.kind != vm::ExecResult::Kind::Timeout)
+        else
             silent.push_back(i);
     }
-    if (crashing.empty() || silent.empty())
+    result.timeouts = timedOut.size();
+    if (crashing.empty() || silent.empty()) {
+        result.outcomes = std::move(outcomes_);
         return result;
+    }
+    result.timeoutExcluded = timedOut.size();
 
-    // Trace each silent binary once (the debugger run): re-execute the
-    // retained module with tracing on — compilation is deterministic,
-    // so this is exactly the binary that ran silently above.
+    // Trace each distinct silent binary once (the debugger run):
+    // re-execute the retained module with tracing on — compilation and
+    // the machine are deterministic, so this is exactly the binary
+    // that ran silently above. Aliased binaries share the trace; the
+    // copy happens only when an alias actually exists (traces can be
+    // stepLimit-sized).
+    std::map<size_t, size_t> traceIdxOfRoot;
     std::vector<std::vector<SourceLoc>> traces(silent.size());
     for (size_t k = 0; k < silent.size(); k++) {
+        size_t root = aliasOf_[silent[k]];
+        auto [it, inserted] = traceIdxOfRoot.emplace(root, k);
+        if (!inserted) {
+            traces[k] = traces[it->second];
+            machine.noteDedupSkip();
+            continue;
+        }
         vm::ExecOptions opts;
         opts.stepLimit = stepLimit;
         opts.recordTrace = true;
         traces[k] =
-            vm::execute(result.outcomes[silent[k]].module, opts).trace;
-        cache.noteTraceExecution();
+            machine.run(outcomes_[silent[k]].module, opts).trace;
+        cache_->noteTraceExecution();
     }
 
     for (size_t ci : crashing) {
-        SourceLoc site = result.outcomes[ci].result.crashSite();
+        SourceLoc site = outcomes_[ci].result.crashSite();
         for (size_t k = 0; k < silent.size(); k++) {
             DiscrepancyVerdict v;
             v.crashingIdx = ci;
@@ -66,7 +119,25 @@ runDifferential(compiler::CompilationCache &cache,
             result.verdicts.push_back(v);
         }
     }
+    result.outcomes = std::move(outcomes_);
     return result;
+}
+
+DifferentialResult
+runDifferential(compiler::CompilationCache &cache, vm::Machine &machine,
+                const std::vector<compiler::CompilerConfig> &configs,
+                uint64_t stepLimit)
+{
+    return ExecutionPlan::compile(cache, configs).run(machine, stepLimit);
+}
+
+DifferentialResult
+runDifferential(compiler::CompilationCache &cache,
+                const std::vector<compiler::CompilerConfig> &configs,
+                uint64_t stepLimit)
+{
+    vm::Machine machine;
+    return runDifferential(cache, machine, configs, stepLimit);
 }
 
 DifferentialResult

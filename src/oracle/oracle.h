@@ -60,6 +60,15 @@ struct DifferentialResult
     std::vector<ConfigOutcome> outcomes;
     /** Every (crash, no-crash) pair with its oracle verdict. */
     std::vector<DiscrepancyVerdict> verdicts;
+    /** Executions that hit the step limit (ExecResult::Kind::Timeout). */
+    size_t timeouts = 0;
+    /**
+     * Timed-out binaries explicitly excluded from discrepancy pairing
+     * when pairing actually happened: a timeout is neither a crash nor
+     * evidence of a missed report, so it must never stand in as the
+     * "silent" half of a pair.
+     */
+    size_t timeoutExcluded = 0;
 
     bool hasDiscrepancy() const { return !verdicts.empty(); }
 
@@ -74,21 +83,64 @@ struct DifferentialResult
 };
 
 /**
- * Compile the cache's program under every configuration, execute, and
- * apply crash-site mapping to every discrepant pair. Non-crashing
- * binaries of discrepant pairs are re-executed with tracing enabled
- * (the "debugger" pass of §3.3) using the module retained in their
- * ConfigOutcome — no configuration is ever compiled twice, and the
- * cache shares lowering/early-opt work across calls (the campaign
- * passes one cache per program through its whole sanitizer matrix).
+ * The compile-all-first execution batch of one testing matrix.
+ *
+ * Phase 1 (`compile`) specializes every configuration through the
+ * CompilationCache while the machine is still cold; phase 2 (`run`)
+ * pushes all binaries through one shared vm::Machine — reset, not
+ * rebuilt, between runs — pairs the discrepancies, and lazily
+ * re-executes silent binaries of discrepant pairs with tracing (the
+ * debugger pass of §3.3). Configurations whose specialized binaries
+ * are byte-identical (equal ir::executionKey — e.g. both vendors'
+ * modules at equivalent opt points) execute once; the others copy the
+ * result and count a dedup skip on the machine's ExecStats.
  */
+class ExecutionPlan
+{
+  public:
+    /** Phase 1: compile every configuration; no execution yet. */
+    static ExecutionPlan
+    compile(compiler::CompilationCache &cache,
+            const std::vector<compiler::CompilerConfig> &configs);
+
+    /** Phase 2: execute the whole batch through @p machine. Consumes
+     *  the plan (outcomes move into the result). */
+    DifferentialResult run(vm::Machine &machine, uint64_t stepLimit);
+
+    size_t size() const { return outcomes_.size(); }
+
+  private:
+    /** For the trace accounting of the debugger re-executions. */
+    compiler::CompilationCache *cache_ = nullptr;
+    std::vector<ConfigOutcome> outcomes_;
+    /** Index of the first outcome with an identical execution key. */
+    std::vector<size_t> aliasOf_;
+};
+
+/**
+ * Compile the cache's program under every configuration, execute
+ * through @p machine, and apply crash-site mapping to every discrepant
+ * pair — ExecutionPlan::compile + run. No configuration is ever
+ * compiled twice, the cache shares lowering/early-opt work across
+ * calls, and the machine shares its arenas across the whole batch (the
+ * campaign passes one cache and one machine per program through its
+ * whole sanitizer matrix). The step limit is a required argument: the
+ * campaign plumbs CampaignConfig::stepLimit end to end.
+ */
+DifferentialResult
+runDifferential(compiler::CompilationCache &cache, vm::Machine &machine,
+                const std::vector<compiler::CompilerConfig> &configs,
+                uint64_t stepLimit);
+
+/** Overload for callers without a long-lived machine: builds a
+ *  throwaway one. */
 DifferentialResult
 runDifferential(compiler::CompilationCache &cache,
                 const std::vector<compiler::CompilerConfig> &configs,
                 uint64_t stepLimit = 2'000'000);
 
 /** Convenience overload for one-off callers: builds a throwaway
- *  CompilationCache for @p program and delegates. */
+ *  CompilationCache (and machine) for @p program and delegates. */
 DifferentialResult
 runDifferential(const ast::Program &program,
                 const ast::PrintedProgram &printed,

@@ -123,6 +123,15 @@ struct Segment
         poison.resize(new_size, kPoisonNone);
         msh.resize(new_size, 0);
     }
+
+    /** Drop contents but keep the allocations for the next run. */
+    void
+    clear()
+    {
+        mem.clear();
+        poison.clear();
+        msh.clear();
+    }
 };
 
 struct Object
@@ -157,25 +166,39 @@ struct Frame
     ScalarKind callerKind = ScalarKind::S64;
 };
 
-class Machine
+} // namespace
+
+/**
+ * The machine proper. Long-lived state (the stack arena with its two
+ * shadow planes, vector capacities of every per-run container) is
+ * built once; everything a run dirties is restored by reset() before
+ * the next run, using a stack write watermark so the restore cost is
+ * proportional to what the previous execution touched, not to the
+ * arena size.
+ */
+struct Machine::Impl
 {
-  public:
-    Machine(const ir::Module &m, const ExecOptions &opts)
-        : m_(m), opts_(opts)
+    Impl()
     {
         globals_.base = kGlobalBase;
         stack_.base = kStackBase;
         stack_.grow(kStackCapacity);
         heap_.base = kHeapBase;
-        trackShadow_ = m_.msan.enabled || opts_.groundTruth;
+        stats_.machinesBuilt++;
     }
 
     ExecResult
-    run()
+    run(const ir::Module &m, const ExecOptions &opts)
     {
-        UBF_ASSERT(m_.mainIndex >= 0, "module has no main");
+        UBF_ASSERT(m.mainIndex >= 0, "module has no main");
+        reset();
+        dirty_ = true;
+        stats_.executions++;
+        m_ = &m;
+        opts_ = opts;
+        trackShadow_ = m_->msan.enabled || opts_.groundTruth;
         loadGlobals();
-        pushFrame(static_cast<uint32_t>(m_.mainIndex), {}, {}, 0,
+        pushFrame(static_cast<uint32_t>(m_->mainIndex), {}, {}, 0,
                   ScalarKind::S32);
         while (!done_) {
             if (result_.steps >= opts_.stepLimit) {
@@ -187,10 +210,60 @@ class Machine
         return std::move(result_);
     }
 
-  private:
+    /** Restore the construction-time state of every arena. Counts the
+     *  re-arm whether a caller asks for it or run() does. */
+    void
+    reset()
+    {
+        if (!dirty_)
+            return;
+        dirty_ = false;
+        stats_.resets++;
+        // Stack: restore only the dirtied prefix of the arena.
+        uint64_t high = std::min<uint64_t>(stackDirty_, kStackCapacity);
+        if (high) {
+            std::memset(stack_.mem.data(), kFillByte, high);
+            std::memset(stack_.poison.data(), kPoisonNone, high);
+            std::memset(stack_.msh.data(), 0, high);
+        }
+        stackDirty_ = 0;
+        // Globals and heap are rebuilt per run; keep the allocations.
+        globals_.clear();
+        heap_.clear();
+        globalAddrs_.clear();
+        globalObjIds_.clear();
+        objects_.clear();
+        byBase_.clear();
+        memProv_.clear();
+        frames_.clear();
+        nextObjectId_ = 1;
+        sp_ = kStackBase + 64;
+        curLoc_ = SourceLoc{};
+        result_ = ExecResult{};
+        done_ = false;
+    }
+
     //===------------------------------------------------------------===//
     // Memory plumbing
     //===------------------------------------------------------------===//
+
+    /**
+     * Record that stack bytes below @p endAddr were written. reset()
+     * restores exactly [kStackBase, watermark) — every store path into
+     * the stack segment (frame layout, Store/MemCopy, poison and MSan
+     * shadow updates) must pass through here or through sp_ tracking,
+     * or machine reuse would leak one run's bytes into the next.
+     */
+    void
+    noteStackWrite(uint64_t endAddr)
+    {
+        if (endAddr <= kStackBase)
+            return;
+        uint64_t off = std::min<uint64_t>(endAddr - kStackBase,
+                                          kStackCapacity);
+        if (off > stackDirty_)
+            stackDirty_ = off;
+    }
 
     Segment *
     segmentFor(uint64_t addr, uint64_t size)
@@ -265,6 +338,8 @@ class Machine
         Segment *seg = segmentFor(addr, size);
         if (!seg)
             return;
+        if (seg == &stack_)
+            noteStackWrite(addr + size);
         std::memset(seg->poison.data() + (addr - seg->base),
                     code, size);
     }
@@ -277,6 +352,8 @@ class Machine
         Segment *seg = segmentFor(addr, size);
         if (!seg)
             return;
+        if (seg == &stack_)
+            noteStackWrite(addr + size);
         std::memset(seg->msh.data() + (addr - seg->base), v, size);
     }
 
@@ -291,8 +368,8 @@ class Machine
     {
         uint64_t off = 64; // keep a small guard at segment start
         // Layout pass.
-        for (const ir::GlobalObject &g : m_.globals) {
-            uint32_t rz = m_.asanGlobals ? g.redzone : 0;
+        for (const ir::GlobalObject &g : m_->globals) {
+            uint32_t rz = m_->asanGlobals ? g.redzone : 0;
             off = (off + g.align - 1) / g.align * g.align;
             off += rz;
             // Redzones must keep natural alignment of the payload.
@@ -302,8 +379,8 @@ class Machine
         }
         globals_.grow(off + 64);
         // Contents, shadow, object registry, relocations.
-        for (size_t i = 0; i < m_.globals.size(); i++) {
-            const ir::GlobalObject &g = m_.globals[i];
+        for (size_t i = 0; i < m_->globals.size(); i++) {
+            const ir::GlobalObject &g = m_->globals[i];
             uint64_t base = globalAddrs_[i];
             uint8_t *p = globals_.mem.data() + (base - kGlobalBase);
             std::memcpy(p, g.init.data(), g.size);
@@ -311,7 +388,7 @@ class Machine
             globalObjIds_.push_back(
                 registerObject(base, g.size, ObjectKind::Global,
                                g.declId));
-            if (m_.asanGlobals && g.redzone) {
+            if (m_->asanGlobals && g.redzone) {
                 setPoison(base - g.redzone, g.redzone, kPoisonGlobalRz);
                 // poisonSkip models the Wrong Red-Zone Buffer bug class
                 // (Figure 12d): the first bytes past the object are
@@ -322,8 +399,8 @@ class Machine
                           kPoisonGlobalRz);
             }
         }
-        for (size_t i = 0; i < m_.globals.size(); i++) {
-            const ir::GlobalObject &g = m_.globals[i];
+        for (size_t i = 0; i < m_->globals.size(); i++) {
+            const ir::GlobalObject &g = m_->globals[i];
             uint64_t base = globalAddrs_[i];
             for (const auto &reloc : g.relocs) {
                 uint64_t target = globalAddrs_[reloc.targetIndex] +
@@ -358,7 +435,7 @@ class Machine
             trap(TrapKind::StackOverflow, curLoc_);
             return;
         }
-        const ir::Function &fn = m_.functions[fnIndex];
+        const ir::Function &fn = m_->functions[fnIndex];
         Frame f;
         f.fn = &fn;
         f.regs.assign(fn.numRegs, 0);
@@ -377,6 +454,7 @@ class Machine
             sp_ = (sp_ + obj.align - 1) / obj.align * obj.align;
             uint64_t base = sp_;
             sp_ += std::max<uint64_t>(obj.size, 1) + rz;
+            noteStackWrite(sp_);
             if (sp_ > kStackBase + kStackCapacity) {
                 trap(TrapKind::StackOverflow, curLoc_);
                 return;
@@ -771,7 +849,7 @@ class Machine
             break;
           }
           case Opcode::MsanCheck:
-            if (m_.msan.enabled && shadow(inst.a)) {
+            if (m_->msan.enabled && shadow(inst.a)) {
                 report(ReportKind::UninitValue, inst.loc);
                 return;
             }
@@ -796,9 +874,9 @@ class Machine
         // MSan policy hooks (bug injection lives in the MSan pass; the
         // VM merely obeys the compiled policy). Figure 12f: the buggy
         // propagation path treats subtraction results as fully defined.
-        if (m_.msan.bugSubConstDefined && inst.binOp == ir::BinOp::Sub)
+        if (m_->msan.bugSubConstDefined && inst.binOp == ir::BinOp::Sub)
             return 0;
-        if (m_.msan.bugAndDefined && inst.binOp == ir::BinOp::BitAnd)
+        if (m_->msan.bugAndDefined && inst.binOp == ir::BinOp::BitAnd)
             return 0;
         return sh;
     }
@@ -1007,6 +1085,8 @@ class Machine
             return;
         }
         uint64_t v = val(inst.b);
+        if (seg == &stack_)
+            noteStackWrite(addr + size);
         std::memcpy(seg->mem.data() + (addr - seg->base), &v,
                     std::min<uint64_t>(size, 8));
         if (trackShadow_)
@@ -1041,6 +1121,8 @@ class Machine
             trap(TrapKind::Segfault, inst.loc);
             return;
         }
+        if (dseg == &stack_)
+            noteStackWrite(dst + size);
         std::memmove(dseg->mem.data() + (dst - dseg->base),
                      sseg->mem.data() + (src - sseg->base), size);
         if (trackShadow_) {
@@ -1066,7 +1148,7 @@ class Machine
     {
         Frame &f = frames_.back();
         uint64_t size = std::max<uint64_t>(val(inst.a), 1);
-        uint32_t rz = m_.asanHeap ? kHeapRedzone : 0;
+        uint32_t rz = m_->asanHeap ? kHeapRedzone : 0;
         uint64_t off = heap_.mem.size();
         off = (off + 15) / 16 * 16;
         uint64_t total = rz + size + rz;
@@ -1109,7 +1191,7 @@ class Machine
             return;
         }
         obj->state = ObjectState::Freed;
-        if (m_.asanHeap)
+        if (m_->asanHeap)
             setPoison(obj->base, obj->size, kPoisonFreed);
         if (opts_.profile) {
             for (auto &rec : opts_.profile->heapAllocs) {
@@ -1181,8 +1263,9 @@ class Machine
         f.ip++;
     }
 
-    const ir::Module &m_;
-    const ExecOptions &opts_;
+    /** The module of the current run; bound by run(). */
+    const ir::Module *m_ = nullptr;
+    ExecOptions opts_;
     Segment globals_, stack_, heap_;
     std::vector<Object> objects_;
     std::map<uint64_t, uint64_t> byBase_;
@@ -1190,14 +1273,46 @@ class Machine
     bool trackShadow_ = false;
     ExecResult result_;
     bool done_ = false;
+    /** Has a run dirtied the arenas since the last reset()? */
+    bool dirty_ = false;
+    /** End offset of the highest stack byte written this run. */
+    uint64_t stackDirty_ = 0;
+    ExecStats stats_;
 };
 
-} // namespace
+Machine::Machine() : impl_(std::make_unique<Impl>()) {}
+Machine::~Machine() = default;
+Machine::Machine(Machine &&) noexcept = default;
+Machine &Machine::operator=(Machine &&) noexcept = default;
+
+ExecResult
+Machine::run(const ir::Module &module, const ExecOptions &opts)
+{
+    return impl_->run(module, opts);
+}
+
+void
+Machine::reset()
+{
+    impl_->reset();
+}
+
+const ExecStats &
+Machine::stats() const
+{
+    return impl_->stats_;
+}
+
+void
+Machine::noteDedupSkip()
+{
+    impl_->stats_.dedupSkips++;
+}
 
 ExecResult
 execute(const ir::Module &module, const ExecOptions &opts)
 {
-    return Machine(module, opts).run();
+    return Machine().run(module, opts);
 }
 
 } // namespace ubfuzz::vm

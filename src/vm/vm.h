@@ -22,6 +22,7 @@
 #define UBFUZZ_VM_VM_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -117,7 +118,96 @@ struct ExecResult
     std::string str() const;
 };
 
-/** Execute @p module (from its main function). */
+/**
+ * Execution-engine work counters. A Machine owns one set; the campaign
+ * accumulates them per unit (CampaignStats::exec) and bench_throughput
+ * prints them, exactly like compiler::CompileStats. They count work
+ * *actually performed*, so a reintroduced machine-per-execution rebuild
+ * shows up as `machinesBuilt` jumping from one-per-program back to
+ * one-per-run.
+ */
+struct ExecStats
+{
+    /** Full Machine constructions (arena allocation + 0xAA fill). */
+    size_t machinesBuilt = 0;
+    /** Cheap re-arms between runs on an already-built machine. */
+    size_t resets = 0;
+    /** Executions actually interpreted by a machine. */
+    size_t executions = 0;
+    /**
+     * Executions skipped because a byte-identical binary (equal
+     * ir::executionKey) already ran in the same batch; its result was
+     * copied instead.
+     */
+    size_t dedupSkips = 0;
+    /**
+     * Whole testing matrices replayed from the campaign's corpus memo
+     * because an identical UB program was already tested (cross-seed
+     * corpus dedup). Counted by the fuzzer, not the machine.
+     */
+    size_t corpusSkips = 0;
+
+    void
+    merge(const ExecStats &o)
+    {
+        machinesBuilt += o.machinesBuilt;
+        resets += o.resets;
+        executions += o.executions;
+        dedupSkips += o.dedupSkips;
+        corpusSkips += o.corpusSkips;
+    }
+};
+
+/**
+ * A reusable execution engine: the machine (memory segments, shadow
+ * arena), sanitizer runtime, and debugger of the paper's toolchain,
+ * hoisted out of the per-execution path.
+ *
+ * Construction allocates and 0xAA-fills the stack arena and its two
+ * shadow planes once; `run()` then executes any module, and between
+ * runs a cheap `reset()` re-arms the machine by restoring only the
+ * bytes the previous execution actually dirtied (tracked by a write
+ * watermark) instead of rebuilding everything. The differential runner
+ * constructs one Machine per UB program and pushes the whole config
+ * matrix — including the lazy debugger re-executions — through it.
+ *
+ * Guarantee: `Machine m; m.run(mod, opts)` is bit-identical to
+ * `vm::execute(mod, opts)` for every preceding sequence of runs on
+ * `m`, across all result fields (exit code, checksum, report, trap,
+ * steps, trace). test_vm's MachineReuse suite enforces this.
+ */
+class Machine
+{
+  public:
+    Machine();
+    ~Machine();
+    Machine(Machine &&) noexcept;
+    Machine &operator=(Machine &&) noexcept;
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Execute @p module from its main function. Resets first when a
+     *  previous run left state behind. */
+    ExecResult run(const ir::Module &module, const ExecOptions &opts = {});
+
+    /** Re-arm explicitly (run() does this on demand); idempotent. */
+    void reset();
+
+    /** Work counters since construction (machinesBuilt counts this
+     *  machine's own construction). */
+    const ExecStats &stats() const;
+
+    /** Account one execution skipped by a batch runner because an
+     *  identical binary already ran (see ir::executionKey). */
+    void noteDedupSkip();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** Execute @p module (from its main function) on a throwaway Machine.
+ *  One-off convenience; batch callers construct a Machine and reuse it. */
 ExecResult execute(const ir::Module &module, const ExecOptions &opts = {});
 
 } // namespace ubfuzz::vm

@@ -85,6 +85,95 @@ TEST(KindOfReportDeathTest, NoneIsNotAReport)
                               "not a sanitizer report");
 }
 
+TEST(Campaign, BatchedExecutionAccounting)
+{
+    CampaignConfig cfg;
+    cfg.seed = 11;
+    cfg.numSeeds = 8;
+    cfg.capPerKind = 2;
+    CampaignStats stats = runCampaign(cfg);
+
+    // One machine per tested program (not one per execution), with
+    // cheap resets in between: executions = machines + resets. A
+    // corpus-replayed duplicate contributes a ubProgram but builds no
+    // machine, and under jobs=1 every duplicate replays — so machines
+    // track unique programs exactly.
+    EXPECT_EQ(stats.exec.machinesBuilt + stats.exec.corpusSkips,
+              stats.ubPrograms);
+    EXPECT_EQ(stats.exec.machinesBuilt, stats.uniquePrograms());
+    EXPECT_GT(stats.exec.resets, 0u);
+    EXPECT_EQ(stats.exec.executions,
+              stats.exec.machinesBuilt + stats.exec.resets);
+    // Equivalent matrix columns specialize to identical binaries whose
+    // executions are skipped, so the engine runs strictly fewer
+    // executions than the matrix has configurations.
+    EXPECT_GT(stats.exec.dedupSkips, 0u);
+    EXPECT_LT(stats.exec.executions,
+              stats.compile.specializations +
+                  stats.compile.traceExecutions +
+                  stats.exec.dedupSkips);
+}
+
+TEST(Campaign, DigestUnchangedByDedupAndJobs)
+{
+    CampaignConfig cfg;
+    cfg.seed = 11;
+    cfg.numSeeds = 10;
+    cfg.capPerKind = 2;
+
+    CampaignStats withDedup = runCampaign(cfg);
+    ASSERT_GT(withDedup.findings.size(), 0u);
+
+    CampaignConfig noDedup = cfg;
+    noDedup.corpusDedup = false;
+    CampaignStats withoutDedup = runCampaign(noDedup);
+
+    CampaignConfig sharded = cfg;
+    sharded.jobs = 4;
+    CampaignStats shardedStats = runCampaign(sharded);
+
+    // The cross-PR invariant: corpus dedup and sharding change how the
+    // work is done, never what is found.
+    EXPECT_EQ(findingsDigest(withDedup), findingsDigest(withoutDedup));
+    EXPECT_EQ(findingsDigest(withDedup), findingsDigest(shardedStats));
+    EXPECT_EQ(withDedup.ubPrograms, withoutDedup.ubPrograms);
+    EXPECT_EQ(withDedup.selectedPairs, withoutDedup.selectedPairs);
+    EXPECT_EQ(withDedup.execTimeouts, shardedStats.execTimeouts);
+    EXPECT_EQ(withDedup.corpusDuplicates, shardedStats.corpusDuplicates);
+    EXPECT_EQ(withDedup.uniquePrograms(), shardedStats.uniquePrograms());
+}
+
+TEST(CorpusMemo, ReplaysRecordedDeltas)
+{
+    CorpusMemo memo;
+    CorpusKey key;
+    key.textHash = 42;
+    key.textLen = 100;
+    key.kind = ubgen::UBKind::NullPtrDeref;
+    key.ubLoc = SourceLoc{7, 4};
+    EXPECT_EQ(memo.find(key), nullptr);
+
+    auto delta = std::make_shared<CampaignStats>();
+    delta->ubPrograms = 1;
+    delta->selectedPairs = 3;
+    memo.insert(key, delta);
+    ASSERT_NE(memo.find(key), nullptr);
+    EXPECT_EQ(memo.find(key)->selectedPairs, 3u);
+    EXPECT_EQ(memo.size(), 1u);
+
+    // First insertion wins (concurrent units may race to store the
+    // same — identical — delta).
+    auto other = std::make_shared<CampaignStats>();
+    other->selectedPairs = 9;
+    memo.insert(key, other);
+    EXPECT_EQ(memo.find(key)->selectedPairs, 3u);
+
+    // A different UB site is a different corpus identity.
+    CorpusKey otherSite = key;
+    otherSite.ubLoc = SourceLoc{8, 0};
+    EXPECT_EQ(memo.find(otherSite), nullptr);
+}
+
 TEST(Campaign, Deterministic)
 {
     CampaignConfig cfg;

@@ -162,6 +162,78 @@ int main(void) {
     }
 }
 
+/**
+ * The batched plan executes each distinct binary once: identical
+ * specializations (equal ir::executionKey) copy the result and count a
+ * dedup skip, without changing a single outcome or verdict.
+ */
+TEST(ExecutionPlan, SkipsIdenticalBinariesWithIdenticalResults)
+{
+    auto prog = frontend::parseOrDie(R"(struct a {
+    int x;
+};
+struct a b[2];
+struct a *c = &b[0];
+struct a *d = &b[0];
+int k = 0;
+int main(void) {
+    *c = b[0];
+    k = 2;
+    *c = *(d + k);
+    return c->x;
+}
+)");
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    auto configs = testingMatrix(SanitizerKind::ASan);
+
+    compiler::CompilationCache cache(*prog, printed);
+    vm::Machine machine;
+    DifferentialResult diff =
+        runDifferential(cache, machine, configs, 1'000'000);
+
+    EXPECT_GT(machine.stats().dedupSkips, 0u);
+    EXPECT_LT(machine.stats().executions, configs.size());
+    EXPECT_EQ(machine.stats().machinesBuilt, 1u);
+    EXPECT_EQ(machine.stats().executions,
+              machine.stats().resets + 1);
+
+    // Copied results are indistinguishable from re-execution.
+    for (const auto &oc : diff.outcomes) {
+        vm::ExecResult again = vm::execute(oc.module);
+        EXPECT_EQ(again.str(), oc.result.str()) << oc.config.str();
+    }
+}
+
+/**
+ * Timed-out binaries are counted and excluded from pairing: they are
+ * neither crashes nor evidence of a missed report.
+ */
+TEST(Oracle, TimeoutsAreCountedAndExcludedFromPairing)
+{
+    auto prog = frontend::parseOrDie(R"(int main(void) {
+    int s = 0;
+    while (1) {
+        s += 1;
+    }
+    return s;
+}
+)");
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    auto configs = testingMatrix(SanitizerKind::UBSan);
+
+    // A tiny step limit times every configuration out: no crashing
+    // binary, no silent binary, no pairing.
+    compiler::CompilationCache cache(*prog, printed);
+    vm::Machine machine;
+    DifferentialResult diff = runDifferential(cache, machine, configs, 50);
+    EXPECT_GT(diff.timeouts, 0u);
+    EXPECT_EQ(diff.timeouts, configs.size());
+    EXPECT_FALSE(diff.hasDiscrepancy());
+    EXPECT_EQ(diff.timeoutExcluded, 0u); // no pairing happened
+    for (const auto &oc : diff.outcomes)
+        EXPECT_EQ(oc.result.kind, vm::ExecResult::Kind::Timeout);
+}
+
 /** No discrepancy at all when every configuration reports. */
 TEST(Oracle, ConsistentReportsAreNoDiscrepancy)
 {

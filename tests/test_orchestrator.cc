@@ -46,6 +46,15 @@ expectIdentical(const CampaignStats &a, const CampaignStats &b)
     EXPECT_EQ(a.wrongReports, b.wrongReports);
     EXPECT_EQ(a.wrongReportBugs, b.wrongReportBugs);
     EXPECT_EQ(a.invalidFindings, b.invalidFindings);
+    // Timeout accounting and the corpus seen-set fold in unit order,
+    // so they are part of the determinism contract too. (The ExecStats
+    // work counters are deliberately not: under jobs > 1 a cross-seed
+    // duplicate being computed concurrently may be recomputed instead
+    // of replayed — identical results, slightly different work.)
+    EXPECT_EQ(a.execTimeouts, b.execTimeouts);
+    EXPECT_EQ(a.timeoutExcluded, b.timeoutExcluded);
+    EXPECT_EQ(a.corpusSeen, b.corpusSeen);
+    EXPECT_EQ(a.corpusDuplicates, b.corpusDuplicates);
     EXPECT_EQ(sortedFindings(a), sortedFindings(b));
 }
 

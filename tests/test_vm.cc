@@ -375,5 +375,231 @@ int main(void) {
     EXPECT_LT(line3_pos, line4_pos);
 }
 
+//===--------------------------------------------------------------===//
+// Machine reuse (the batched execution engine)
+//===--------------------------------------------------------------===//
+
+ir::Module
+lowerSource(const std::string &src)
+{
+    auto prog = frontend::parseOrDie(src);
+    ast::PrintedProgram printed = ast::printProgram(*prog);
+    ir::Module mod = ir::lowerProgram(*prog, printed.map);
+    EXPECT_EQ(ir::verifyModule(mod), "");
+    return mod;
+}
+
+void
+expectSameResult(const vm::ExecResult &fresh, const vm::ExecResult &reused)
+{
+    EXPECT_EQ(fresh.kind, reused.kind)
+        << fresh.str() << " vs " << reused.str();
+    EXPECT_EQ(fresh.report, reused.report);
+    EXPECT_EQ(fresh.reportLoc, reused.reportLoc);
+    EXPECT_EQ(fresh.trap, reused.trap);
+    EXPECT_EQ(fresh.trapLoc, reused.trapLoc);
+    EXPECT_EQ(fresh.exitCode, reused.exitCode);
+    EXPECT_EQ(fresh.checksum, reused.checksum);
+    EXPECT_EQ(fresh.steps, reused.steps);
+    EXPECT_EQ(fresh.trace, reused.trace);
+}
+
+/** reset() + re-run must be bit-identical to a fresh vm::execute, for
+ *  every result field, across every outcome kind. */
+void
+expectReuseIdentical(const std::string &src, vm::ExecOptions opts = {})
+{
+    ir::Module mod = lowerSource(src);
+    vm::ExecResult fresh = vm::execute(mod, opts);
+    vm::Machine m;
+    expectSameResult(fresh, m.run(mod, opts));
+    m.reset();
+    expectSameResult(fresh, m.run(mod, opts));
+    // And without the explicit reset (run() re-arms on demand).
+    expectSameResult(fresh, m.run(mod, opts));
+}
+
+TEST(MachineReuse, CleanProgramWithChecksum)
+{
+    expectReuseIdentical(R"(int main(void) {
+    long *p = (long*)__malloc(16l);
+    p[0] = 7l;
+    p[1] = 9l;
+    __checksum(p[0] + p[1]);
+    __free((char*)p);
+    return 3;
+}
+)");
+}
+
+TEST(MachineReuse, TrapProgram)
+{
+    expectReuseIdentical(
+        "int main(void) { int z = 0; return 5 / z; }");
+}
+
+TEST(MachineReuse, TimeoutProgram)
+{
+    vm::ExecOptions opts;
+    opts.stepLimit = 5000;
+    expectReuseIdentical("int main(void) { while (1) { } return 0; }",
+                         opts);
+}
+
+TEST(MachineReuse, GroundTruthReportProgram)
+{
+    vm::ExecOptions opts;
+    opts.groundTruth = true;
+    expectReuseIdentical(R"(int main(void) {
+    int a[4];
+    int i = 4;
+    a[0] = 1;
+    return a[i];
+}
+)",
+                         opts);
+}
+
+TEST(MachineReuse, TraceProgram)
+{
+    vm::ExecOptions opts;
+    opts.recordTrace = true;
+    expectReuseIdentical(R"(int g = 0;
+int main(void) {
+    g = 1;
+    g = 2;
+    return g;
+}
+)",
+                         opts);
+}
+
+TEST(MachineReuse, SilentOutOfBoundsWriteDoesNotLeakAcrossRuns)
+{
+    // The writer's OOB store lands inside the mapped stack segment
+    // beyond its frame layout — exactly the bytes a lazy reset would
+    // miss. The reader then loads that address uninitialized; on a
+    // properly reset machine it must see the deterministic 0xAA fill,
+    // not the 77 the previous run planted there.
+    ir::Module writer = lowerSource(R"(int main(void) {
+    int a[4];
+    int i = 9;
+    a[i] = 77;
+    return a[i];
+}
+)");
+    ir::Module reader = lowerSource(R"(int main(void) {
+    int a[4];
+    int i = 9;
+    return a[i];
+}
+)");
+    vm::ExecResult freshWriter = vm::execute(writer);
+    vm::ExecResult freshReader = vm::execute(reader);
+    ASSERT_EQ(freshWriter.exitCode, 77);
+    ASSERT_NE(freshReader.exitCode, 77); // 0xAA fill, not the plant
+
+    vm::Machine m;
+    expectSameResult(freshWriter, m.run(writer));
+    expectSameResult(freshReader, m.run(reader));
+    expectSameResult(freshWriter, m.run(writer));
+    expectSameResult(freshReader, m.run(reader));
+}
+
+TEST(MachineReuse, UninitReadIsDeterministicAcrossRuns)
+{
+    expectReuseIdentical("int main(void) { int x; return x * 0 + 3; }");
+}
+
+TEST(MachineReuse, InterleavedModulesStayIndependent)
+{
+    ir::Module a = lowerSource(
+        "int main(void) { int x = 6; __checksum((long)x); return x; }");
+    ir::Module b = lowerSource(R"(int main(void) {
+    int v[3] = {1, 2, 3};
+    return v[0] + v[1] + v[2];
+}
+)");
+    vm::ExecResult fa = vm::execute(a);
+    vm::ExecResult fb = vm::execute(b);
+    vm::Machine m;
+    expectSameResult(fa, m.run(a));
+    expectSameResult(fb, m.run(b));
+    expectSameResult(fa, m.run(a));
+    expectSameResult(fb, m.run(b));
+    EXPECT_EQ(m.stats().machinesBuilt, 1u);
+    EXPECT_EQ(m.stats().executions, 4u);
+    EXPECT_EQ(m.stats().resets, 3u);
+}
+
+TEST(MachineReuse, OptionsChangeBetweenRuns)
+{
+    // The same machine serves a silent run, then a ground-truth run,
+    // then a traced run — the differential runner's exact sequence.
+    ir::Module mod = lowerSource(R"(int main(void) {
+    int a[4];
+    int i = 4;
+    a[0] = 1;
+    return a[i] * 0;
+}
+)");
+    vm::ExecOptions gt;
+    gt.groundTruth = true;
+    vm::ExecOptions tr;
+    tr.recordTrace = true;
+
+    vm::Machine m;
+    expectSameResult(vm::execute(mod), m.run(mod));
+    expectSameResult(vm::execute(mod, gt), m.run(mod, gt));
+    expectSameResult(vm::execute(mod, tr), m.run(mod, tr));
+    expectSameResult(vm::execute(mod), m.run(mod));
+}
+
+TEST(MachineReuse, StatsCountWork)
+{
+    ir::Module mod = lowerSource("int main(void) { return 1; }");
+    vm::Machine m;
+    EXPECT_EQ(m.stats().machinesBuilt, 1u);
+    EXPECT_EQ(m.stats().executions, 0u);
+    m.run(mod);
+    m.run(mod);
+    m.noteDedupSkip();
+    EXPECT_EQ(m.stats().executions, 2u);
+    EXPECT_EQ(m.stats().resets, 1u);
+    EXPECT_EQ(m.stats().dedupSkips, 1u);
+}
+
+//===--------------------------------------------------------------===//
+// Execution keys (what lets a batch skip identical binaries)
+//===--------------------------------------------------------------===//
+
+TEST(ExecutionKey, IdenticalModulesShareAKey)
+{
+    ir::Module a = lowerSource("int main(void) { return 4; }");
+    ir::Module b = lowerSource("int main(void) { return 4; }");
+    EXPECT_EQ(ir::executionKey(a), ir::executionKey(b));
+}
+
+TEST(ExecutionKey, BehavioralFlagsChangeTheKey)
+{
+    // printModule ignores these flags, but the VM does not — the key
+    // must see them or a batch would copy results across binaries that
+    // behave differently.
+    ir::Module a = lowerSource("int main(void) { int x; return x * 0; }");
+    ir::Module b = lowerSource("int main(void) { int x; return x * 0; }");
+    b.msan.enabled = true;
+    EXPECT_NE(ir::executionKey(a), ir::executionKey(b));
+    ir::Module c = lowerSource("int main(void) { int x; return x * 0; }");
+    c.asanHeap = true;
+    EXPECT_NE(ir::executionKey(a), ir::executionKey(c));
+}
+
+TEST(ExecutionKey, GlobalInitBytesChangeTheKey)
+{
+    ir::Module a = lowerSource("int g = 1;\nint main(void) { return g; }");
+    ir::Module b = lowerSource("int g = 2;\nint main(void) { return g; }");
+    EXPECT_NE(ir::executionKey(a), ir::executionKey(b));
+}
+
 } // namespace
 } // namespace ubfuzz
