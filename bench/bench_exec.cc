@@ -27,6 +27,7 @@
 #include "compiler/compiler.h"
 #include "generator/generator.h"
 #include "oracle/oracle.h"
+#include "support/parse_num.h"
 #include "vm/vm.h"
 
 using namespace ubfuzz;
@@ -49,14 +50,15 @@ main(int argc, char **argv)
     int runs = 300;
     for (int i = 1; i < argc; i++) {
         if (!std::strcmp(argv[i], "--runs") && i + 1 < argc) {
-            char *end = nullptr;
-            long v = std::strtol(argv[++i], &end, 10);
-            if (end == argv[i] || *end != '\0' || v < 1) {
+            // Strict parse: garbage, zero, and ERANGE-clamped values
+            // abort instead of silently running a different count.
+            auto v = support::parseInt(argv[++i], 1);
+            if (!v) {
                 std::fprintf(stderr, "--runs: invalid number '%s'\n",
                              argv[i]);
                 return 2;
             }
-            runs = static_cast<int>(v);
+            runs = *v;
         } else {
             std::fprintf(stderr, "usage: %s [--runs N]\n", argv[0]);
             return 2;

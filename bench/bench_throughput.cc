@@ -20,25 +20,43 @@
 
 #include "bench_util.h"
 #include "fuzzer/orchestrator.h"
+#include "support/parse_num.h"
 
 using namespace ubfuzz;
 
 namespace {
 
+/** Strict int flag: garbage, trailing junk, overflow (ERANGE), and
+ *  values below @p min all abort instead of clamping. */
 int
-intArg(int argc, char **argv, int &i, const char *flag)
+intArg(int argc, char **argv, int &i, const char *flag, int min)
 {
     if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires a value\n", flag);
         std::exit(2);
     }
-    char *end = nullptr;
-    long v = std::strtol(argv[++i], &end, 10);
-    if (end == argv[i] || *end != '\0') {
+    auto v = support::parseInt(argv[++i], min);
+    if (!v) {
         std::fprintf(stderr, "%s: invalid number '%s'\n", flag, argv[i]);
         std::exit(2);
     }
-    return static_cast<int>(v);
+    return *v;
+}
+
+/** Strict 64-bit flag for the campaign seed (any uint64 value). */
+uint64_t
+u64Arg(int argc, char **argv, int &i, const char *flag)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+    }
+    auto v = support::parseUint64(argv[++i]);
+    if (!v) {
+        std::fprintf(stderr, "%s: invalid number '%s'\n", flag, argv[i]);
+        std::exit(2);
+    }
+    return *v;
 }
 
 } // namespace
@@ -54,12 +72,11 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; i++) {
         if (!std::strcmp(argv[i], "--jobs") || !std::strcmp(argv[i], "-j"))
-            cfg.jobs = intArg(argc, argv, i, "--jobs");
+            cfg.jobs = intArg(argc, argv, i, "--jobs", 0);
         else if (!std::strcmp(argv[i], "--seeds"))
-            cfg.numSeeds = intArg(argc, argv, i, "--seeds");
+            cfg.numSeeds = intArg(argc, argv, i, "--seeds", 1);
         else if (!std::strcmp(argv[i], "--seed"))
-            cfg.seed = static_cast<uint64_t>(
-                intArg(argc, argv, i, "--seed"));
+            cfg.seed = u64Arg(argc, argv, i, "--seed");
         else {
             std::fprintf(stderr,
                          "usage: %s [--jobs N] [--seeds N] [--seed S]\n",
@@ -91,10 +108,15 @@ main(int argc, char **argv)
     std::printf("selected pairs:   %zu\n", stats.selectedPairs);
     std::printf("distinct bugs:    %zu\n", stats.distinctBugsFound());
     std::printf("findings:         %zu\n", stats.findings.size());
-    // Staged-compiler counters: lowerings tracks tested programs (one
-    // each), early-opt runs the distinct (vendor, level) points; a jump
-    // here is a hot-path regression even when the digest is unchanged.
+    // Staged-compiler counters: with the seed-level cache, full
+    // lowerings track productive seeds (one base each, plus counted
+    // fallbacks) while every derived UB program lowers incrementally;
+    // a jump here is a hot-path regression even when the digest is
+    // unchanged.
+    std::printf("productive seeds: %zu\n", stats.productiveSeeds());
     std::printf("lowerings:        %zu\n", stats.compile.lowerings);
+    std::printf("delta lowerings:  %zu\n", stats.compile.deltaLowerings);
+    std::printf("delta fallbacks:  %zu\n", stats.compile.deltaFallbacks);
     std::printf("early-opt runs:   %zu (cache hits: %zu)\n",
                 stats.compile.earlyOptRuns,
                 stats.compile.earlyOptCacheHits);

@@ -14,13 +14,16 @@
 #include <string>
 
 #include "fuzzer/fuzzer.h"
+#include "support/parse_num.h"
 
 namespace ubfuzz::bench {
 
 /**
- * UBFUZZ_BENCH_SEEDS, strictly parsed. A typo ("6O", "1e3", "") must
- * abort the run, not silently shrink the campaign to one seed — the
- * same policy the campaign CLI applies to its flags.
+ * UBFUZZ_BENCH_SEEDS, strictly parsed (support::parseInt): a typo
+ * ("6O", "1e3", "") or an overflowing value ("9e30"-sized digits,
+ * which raw strtol clamps with errno=ERANGE) must abort the run, not
+ * silently shrink or clamp the campaign — the same policy the
+ * campaign CLI applies to its flags.
  */
 inline int
 seedCount(int fallback = 60)
@@ -28,16 +31,15 @@ seedCount(int fallback = 60)
     const char *env = std::getenv("UBFUZZ_BENCH_SEEDS");
     if (!env)
         return fallback;
-    char *end = nullptr;
-    long v = std::strtol(env, &end, 10);
-    if (end == env || *end != '\0' || v < 1 || v > 1000000) {
+    auto v = support::parseInt(env, 1, 1000000);
+    if (!v) {
         std::fprintf(stderr,
                      "UBFUZZ_BENCH_SEEDS: invalid seed count '%s' "
                      "(want an integer in [1, 1000000])\n",
                      env);
         std::exit(2);
     }
-    return static_cast<int>(v);
+    return *v;
 }
 
 inline fuzzer::CampaignStats

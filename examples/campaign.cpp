@@ -17,35 +17,42 @@
 #include <cstring>
 
 #include "fuzzer/orchestrator.h"
+#include "support/parse_num.h"
 
 using namespace ubfuzz;
 
 namespace {
 
+/**
+ * Strict flag parsing via support::parseInt: "4O0" aborts instead of
+ * becoming 4, 99999999999 aborts instead of truncating through the
+ * int cast, and each flag states the smallest value it accepts
+ * (seeds need at least one; --jobs 0 means "all hardware threads",
+ * so negatives are rejected but zero is not).
+ */
 int
-parseInt(const char *what, const char *text)
+parseIntArg(const char *what, const char *text, int min)
 {
-    char *end = nullptr;
-    long v = std::strtol(text, &end, 10);
-    if (end == text || *end != '\0') {
-        std::fprintf(stderr, "%s: invalid number '%s'\n", what, text);
+    auto v = support::parseInt(text, min);
+    if (!v) {
+        std::fprintf(stderr, "%s: invalid number '%s' (want an integer >= %d)\n",
+                     what, text, min);
         std::exit(2);
     }
-    return static_cast<int>(v);
+    return *v;
 }
 
-/** Same strict policy for 64-bit values: "4O0" must abort, and a step
- *  limit of zero would run nothing, so it is rejected too. */
+/** Same strict policy for 64-bit values: a step limit of zero would
+ *  run nothing, so the minimum is one. */
 uint64_t
-parseU64(const char *what, const char *text)
+parseU64Arg(const char *what, const char *text)
 {
-    char *end = nullptr;
-    unsigned long long v = std::strtoull(text, &end, 10);
-    if (end == text || *end != '\0' || v == 0) {
+    auto v = support::parseUint64(text, 1);
+    if (!v) {
         std::fprintf(stderr, "%s: invalid number '%s'\n", what, text);
         std::exit(2);
     }
-    return static_cast<uint64_t>(v);
+    return *v;
 }
 
 } // namespace
@@ -64,15 +71,15 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "--jobs requires a value\n");
                 return 2;
             }
-            cfg.jobs = parseInt("--jobs", argv[++i]);
+            cfg.jobs = parseIntArg("--jobs", argv[++i], 0);
         } else if (!std::strcmp(argv[i], "--step-limit")) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "--step-limit requires a value\n");
                 return 2;
             }
-            cfg.stepLimit = parseU64("--step-limit", argv[++i]);
+            cfg.stepLimit = parseU64Arg("--step-limit", argv[++i]);
         } else if (positional == 0) {
-            cfg.numSeeds = parseInt("numSeeds", argv[i]);
+            cfg.numSeeds = parseIntArg("numSeeds", argv[i], 1);
             positional++;
         } else if (positional == 1) {
             if (!std::strcmp(argv[i], "music"))

@@ -36,6 +36,7 @@
 #include "ast/ast.h"
 #include "ast/printer.h"
 #include "ir/ir.h"
+#include "ir/lowering.h"
 #include "sanitizer/bug_catalog.h"
 #include "support/toolchain.h"
 
@@ -83,8 +84,24 @@ struct Binary
  */
 struct CompileStats
 {
-    /** ir::lowerProgram executions (AST -> IR). */
+    /** Full ir::lowerProgram executions (AST -> IR). With the
+     *  seed-level cache, one per seed base program plus one per
+     *  incremental fallback. */
     size_t lowerings = 0;
+    /**
+     * Incremental lowerings: derived UB programs whose module was
+     * built by splicing the seed's base module (only the perturbed
+     * function re-lowered). Each of these was a full lowering before
+     * the seed-level cache.
+     */
+    size_t deltaLowerings = 0;
+    /**
+     * Derived programs that fell back to a full from-scratch lowering
+     * (no perturbed-site handle, or no function passed the splice
+     * proof). Fallbacks also count in `lowerings`, so the seed-cache
+     * invariant is `lowerings == base programs + deltaFallbacks`.
+     */
+    size_t deltaFallbacks = 0;
     /** Early-optimizer pipeline executions. */
     size_t earlyOptRuns = 0;
     /** Early-opt requests served from a CompilationCache entry. */
@@ -105,6 +122,8 @@ struct CompileStats
     merge(const CompileStats &o)
     {
         lowerings += o.lowerings;
+        deltaLowerings += o.deltaLowerings;
+        deltaFallbacks += o.deltaFallbacks;
         earlyOptRuns += o.earlyOptRuns;
         earlyOptCacheHits += o.earlyOptCacheHits;
         specializations += o.specializations;
@@ -228,6 +247,60 @@ class CompilationCache
     /** Memoized textHash(printed_.text); computed on first use. */
     mutable std::optional<uint64_t> baseTextHash_;
     CompileStats stats_;
+};
+
+/**
+ * The seed-level lowering cache, one layer above CompilationCache: a
+ * campaign derives ~8-25 UB programs from one seed by perturbing a
+ * single function and appending auxiliary globals, so the seed's clean
+ * base program is lowered once (with splice provenance) and every
+ * derived program is lowered incrementally from it — the unperturbed
+ * functions' IR is spliced with shifted debug locations, only the
+ * perturbed function and the globals are rebuilt. The result is always
+ * bit-identical to a from-scratch lowering (identical
+ * ir::executionKey); a derived program that cannot be proven splicable
+ * transparently falls back to `lowerOnce` and is counted in
+ * CompileStats::deltaFallbacks.
+ *
+ * Not thread-safe; one per campaign unit (seed), like CompilationCache
+ * — which keeps `--jobs N` bit-identical to a sequential run.
+ */
+class SeedLoweringCache
+{
+  public:
+    /** Print and lower @p base (the seed's clean program) eagerly;
+     *  counts one lowering in @p stats. The cache keeps no reference
+     *  to @p base afterwards. */
+    explicit SeedLoweringCache(const ast::Program &base,
+                               CompileStats *stats = nullptr);
+
+    SeedLoweringCache(const SeedLoweringCache &) = delete;
+    SeedLoweringCache &operator=(const SeedLoweringCache &) = delete;
+
+    /**
+     * Lower @p derived — a node-id-preserving clone of the base
+     * program with perturbations confined to the function with decl
+     * node id @p perturbedFnId (0 = unknown) — against
+     * @p printedDerived. Splices every provably unperturbed function
+     * from the base module; falls back to a full lowering when nothing
+     * can be spliced. Counts a deltaLowering or a lowering +
+     * deltaFallback in @p stats accordingly.
+     */
+    ir::Module lowerDerived(const ast::Program &derived,
+                            const ast::PrintedProgram &printedDerived,
+                            uint32_t perturbedFnId,
+                            CompileStats *stats = nullptr);
+
+    /** The seed's clean base module (lowered in the constructor). */
+    const ir::Module &baseModule() const { return base_; }
+
+    /** The seed's printing the base module was lowered against. */
+    const ast::PrintedProgram &basePrinted() const { return printed_; }
+
+  private:
+    ast::PrintedProgram printed_;
+    ir::Module base_;
+    ir::LoweringInfo info_;
 };
 
 } // namespace ubfuzz::compiler

@@ -169,8 +169,28 @@ class Campaign
                 break;
             }
             auto programs = ubg.generateAll(rng, cfg_.capPerKind);
+            // Lower the clean seed once; every derived UB program
+            // below perturbs a single function of it, so its module is
+            // built incrementally from this base instead of from
+            // scratch — and is then reused for both the ground-truth
+            // validation run and the whole testing matrix.
+            // Deliberately eager (even for the rare seed with zero
+            // derived programs): one base per productive seed is what
+            // makes `lowerings == productive seeds + fallbacks` an
+            // invariant CI can assert against an independent quantity.
+            compiler::SeedLoweringCache seedCache(*seed,
+                                                  &stats_.compile);
             for (auto &ub : programs) {
-                if (!ubgen::validateUBProgram(ub)) {
+                ast::PrintedProgram printed =
+                    ast::printProgram(*ub.program);
+                ir::Module mod = seedCache.lowerDerived(
+                    *ub.program, printed, ub.perturbedFnId,
+                    &stats_.compile);
+                // Ground-truth validation through the unit's reusable
+                // classifier machine, without a second print or
+                // lowering.
+                if (!ubgen::validateUBModule(ub, mod, printed,
+                                             classifyMachine_)) {
                     stats_.nonTriggering++;
                     continue;
                 }
@@ -178,6 +198,8 @@ class Campaign
                 item.program = std::move(ub.program);
                 item.kind = ub.kind;
                 item.siteId = ub.siteId;
+                item.printed = std::move(printed);
+                item.baseModule = std::move(mod);
                 testItem(std::move(item));
             }
             break;

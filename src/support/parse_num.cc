@@ -1,0 +1,73 @@
+#include "support/parse_num.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+namespace ubfuzz::support {
+
+namespace {
+
+/** Shape check: optional '-' (signed only), then one or more digits.
+ *  strtol's own laxness (leading whitespace, '+', "0x") is rejected
+ *  here so the two strto* calls below only ever see clean input. */
+bool
+wellFormed(std::string_view text, bool allowNegative)
+{
+    size_t i = 0;
+    if (allowNegative && i < text.size() && text[i] == '-')
+        i++;
+    if (i >= text.size())
+        return false;
+    for (; i < text.size(); i++)
+        if (text[i] < '0' || text[i] > '9')
+            return false;
+    return true;
+}
+
+} // namespace
+
+std::optional<int64_t>
+parseInt64(std::string_view text, int64_t min, int64_t max)
+{
+    if (!wellFormed(text, /*allowNegative=*/true))
+        return std::nullopt;
+    std::string buf(text); // strtoll needs a terminated string
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(buf.c_str(), &end, 10);
+    if (errno == ERANGE || end != buf.c_str() + buf.size())
+        return std::nullopt;
+    int64_t value = static_cast<int64_t>(v);
+    if (value < min || value > max)
+        return std::nullopt;
+    return value;
+}
+
+std::optional<uint64_t>
+parseUint64(std::string_view text, uint64_t min, uint64_t max)
+{
+    if (!wellFormed(text, /*allowNegative=*/false))
+        return std::nullopt;
+    std::string buf(text);
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+    if (errno == ERANGE || end != buf.c_str() + buf.size())
+        return std::nullopt;
+    uint64_t value = static_cast<uint64_t>(v);
+    if (value < min || value > max)
+        return std::nullopt;
+    return value;
+}
+
+std::optional<int>
+parseInt(std::string_view text, int min, int max)
+{
+    auto v = parseInt64(text, min, max);
+    if (!v)
+        return std::nullopt;
+    return static_cast<int>(*v);
+}
+
+} // namespace ubfuzz::support

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Strict base-10 number parsing for CLI flags and environment knobs.
+ *
+ * Every harness in this repository used to hand-roll strtol/strtoull
+ * parsing, and every copy had the same two holes: overflow clamped
+ * silently (strtol sets errno=ERANGE and returns LONG_MAX, so
+ * `--seeds 99999999999` truncated through an int cast instead of
+ * aborting) and range policy was ad hoc (`--jobs -4` parsed fine).
+ * These helpers are the one shared implementation: they accept exactly
+ * `-?[0-9]+` (sign only for the signed variant), check errno, and
+ * enforce an inclusive [min, max] window — anything else is a parse
+ * failure the caller must turn into a usage error, never a clamped or
+ * truncated value.
+ */
+
+#ifndef UBFUZZ_SUPPORT_PARSE_NUM_H
+#define UBFUZZ_SUPPORT_PARSE_NUM_H
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string_view>
+
+namespace ubfuzz::support {
+
+/** Parse a signed decimal integer in [min, max]; nullopt on garbage,
+ *  trailing junk, overflow (ERANGE), or out-of-window values. */
+std::optional<int64_t>
+parseInt64(std::string_view text,
+           int64_t min = std::numeric_limits<int64_t>::min(),
+           int64_t max = std::numeric_limits<int64_t>::max());
+
+/** Unsigned variant: additionally rejects a leading '-' (strtoull
+ *  would happily wrap "-4" to 18446744073709551612). */
+std::optional<uint64_t>
+parseUint64(std::string_view text, uint64_t min = 0,
+            uint64_t max = std::numeric_limits<uint64_t>::max());
+
+/** Convenience for int-typed flags: parseInt64 windowed to int. */
+std::optional<int>
+parseInt(std::string_view text,
+         int min = std::numeric_limits<int>::min(),
+         int max = std::numeric_limits<int>::max());
+
+} // namespace ubfuzz::support
+
+#endif // UBFUZZ_SUPPORT_PARSE_NUM_H

@@ -31,6 +31,9 @@ struct Site
     UBKind kind;
     /** The UB expression node. */
     uint32_t exprId = 0;
+    /** The FunctionDecl whose body contains the site (and therefore
+     *  every perturbation synthesized for it). */
+    uint32_t funcId = 0;
     /** Insertion point: block node + statement index inside it. */
     uint32_t blockId = 0;
     size_t stmtIndex = 0;
@@ -78,6 +81,7 @@ class Matcher
         for (const FunctionDecl *f : p.functions()) {
             if (f->body() && !f->isBuiltin()) {
                 closed_.clear(); // candidates never cross functions
+                curFunc_ = f->nodeId();
                 walkBlock(f->body());
             }
         }
@@ -85,6 +89,7 @@ class Matcher
 
   private:
     std::vector<Site> (&sites_)[kNumUBKinds];
+    uint32_t curFunc_ = 0;
     uint32_t curBlock_ = 0;
     size_t curIndex_ = 0;
     std::vector<ScopeCandidate> closed_;
@@ -92,6 +97,7 @@ class Matcher
     void
     addSite(Site s)
     {
+        s.funcId = curFunc_;
         s.blockId = curBlock_;
         s.stmtIndex = curIndex_;
         sites_[static_cast<size_t>(s.kind)].push_back(std::move(s));
@@ -558,6 +564,7 @@ struct UBGenerator::Impl
         UBProgram out;
         out.kind = site.kind;
         out.siteId = site.exprId;
+        out.perturbedFnId = site.funcId;
 
         switch (site.kind) {
           case UBKind::BufferOverflowArray: {
@@ -946,10 +953,18 @@ validateUBProgram(const UBProgram &ub)
 {
     PrintedProgram printed = printProgram(*ub.program);
     ir::Module mod = ir::lowerProgram(*ub.program, printed.map);
+    vm::Machine machine; // one-off; bit-identical to vm::execute
+    return validateUBModule(ub, mod, printed, machine);
+}
+
+bool
+validateUBModule(const UBProgram &ub, const ir::Module &mod,
+                 const ast::PrintedProgram &printed, vm::Machine &machine)
+{
     vm::ExecOptions opts;
     opts.groundTruth = true;
-    opts.stepLimit = 2'000'000;
-    vm::ExecResult r = vm::execute(mod, opts);
+    opts.stepLimit = kGroundTruthStepLimit;
+    vm::ExecResult r = machine.run(mod, opts);
     if (r.kind != vm::ExecResult::Kind::Report)
         return false;
     if (!reportMatchesKind(ub.kind, r.report))

@@ -28,6 +28,7 @@
 
 #include "ast/ast.h"
 #include "ast/printer.h"
+#include "ir/ir.h"
 #include "support/rng.h"
 #include "ubgen/ub_kind.h"
 #include "vm/profile_data.h"
@@ -41,6 +42,17 @@ struct UBProgram
     UBKind kind = UBKind::BufferOverflowArray;
     /** Node id of the UB-triggering expression (stable across print). */
     uint32_t siteId = 0;
+    /**
+     * Node id of the FunctionDecl whose body the shadow statement and
+     * expression rewrite live in. Every structural change to the seed
+     * is confined to this one function (plus appended auxiliary
+     * globals), which is what lets the compiler's seed-level cache
+     * lower the derived program incrementally: splice the other
+     * functions from the seed's base module and re-lower only this
+     * one. 0 means "unknown" — consumers must fall back to a full
+     * lowering.
+     */
+    uint32_t perturbedFnId = 0;
     /** Human-readable description of the inserted shadow statement. */
     std::string shadowDesc;
 
@@ -89,11 +101,29 @@ class UBGenerator
 };
 
 /**
+ * Step budget of every ground-truth validation run. Deliberately fixed
+ * — it bounds the precise checker, not the differential testing the
+ * campaign's `--step-limit` controls — and shared by both validation
+ * entry points so they can never drift apart.
+ */
+inline constexpr uint64_t kGroundTruthStepLimit = 2'000'000;
+
+/**
  * Ground-truth validation: compile at -O0 without sanitizers and run
  * the precise checker. @return true iff the program exhibits exactly
  * the expected UB kind at the expected location.
  */
 bool validateUBProgram(const UBProgram &ub);
+
+/**
+ * The same check against an already-lowered module of @p ub (printed
+ * as @p printed), executed through @p machine — the campaign's hot
+ * path, which lowers each UB program incrementally and reuses both
+ * the module and one classifier machine per unit.
+ */
+bool validateUBModule(const UBProgram &ub, const ir::Module &mod,
+                      const ast::PrintedProgram &printed,
+                      vm::Machine &machine);
 
 } // namespace ubfuzz::ubgen
 

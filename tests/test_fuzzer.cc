@@ -43,10 +43,17 @@ TEST(Campaign, CompileOnceAccounting)
     cfg.capPerKind = 2;
     CampaignStats stats = runCampaign(cfg);
 
-    // Compile-once/specialize-many: exactly one lowering per tested
-    // program, early-opt shared across the whole sanitizer matrix, and
-    // every debugger trace a re-execution rather than a recompile.
-    EXPECT_EQ(stats.compile.lowerings, stats.ubPrograms);
+    // Seed-level compile cache: one full lowering per productive seed
+    // (plus counted fallbacks); every derived UB program — tested or
+    // non-triggering — lowers incrementally from its seed's base
+    // module. Early opt stays shared across the whole sanitizer
+    // matrix, and every debugger trace is a re-execution rather than
+    // a recompile.
+    EXPECT_EQ(stats.compile.lowerings,
+              stats.productiveSeeds() + stats.compile.deltaFallbacks);
+    EXPECT_EQ(stats.compile.deltaLowerings + stats.compile.deltaFallbacks,
+              stats.ubPrograms + stats.nonTriggering);
+    EXPECT_GT(stats.compile.deltaLowerings, 0u);
     EXPECT_LT(stats.compile.earlyOptRuns,
               stats.compile.specializations);
     EXPECT_GT(stats.compile.earlyOptCacheHits, 0u);

@@ -10,11 +10,65 @@
 #include "frontend/parser.h"
 #include "reduce/reducer.h"
 #include "support/coverage.h"
+#include "support/parse_num.h"
 #include "support/rng.h"
 #include "support/toolchain.h"
 
 namespace ubfuzz {
 namespace {
+
+TEST(ParseNum, AcceptsPlainDecimals)
+{
+    EXPECT_EQ(support::parseInt64("0"), 0);
+    EXPECT_EQ(support::parseInt64("42"), 42);
+    EXPECT_EQ(support::parseInt64("-7"), -7);
+    EXPECT_EQ(support::parseInt64("9223372036854775807"), INT64_MAX);
+    EXPECT_EQ(support::parseInt64("-9223372036854775808"), INT64_MIN);
+    EXPECT_EQ(support::parseUint64("18446744073709551615"), UINT64_MAX);
+    EXPECT_EQ(support::parseInt("123"), 123);
+}
+
+TEST(ParseNum, RejectsGarbageAndTrailingJunk)
+{
+    for (const char *bad :
+         {"", "-", "4O0", "1e3", "12 ", " 12", "+5", "0x10", "--3",
+          "12abc", "1.5"}) {
+        EXPECT_EQ(support::parseInt64(bad), std::nullopt) << bad;
+        EXPECT_EQ(support::parseUint64(bad), std::nullopt) << bad;
+    }
+    // Unsigned additionally rejects negatives instead of wrapping the
+    // way raw strtoull does ("-4" -> 18446744073709551612).
+    EXPECT_EQ(support::parseUint64("-4"), std::nullopt);
+}
+
+TEST(ParseNum, RejectsOverflowInsteadOfClamping)
+{
+    // Raw strtol clamps these with errno=ERANGE; the strict parser
+    // must refuse them ("9e30"-sized inputs used to pass validation).
+    const char *huge = "9000000000000000000000000000000";
+    EXPECT_EQ(support::parseInt64(huge), std::nullopt);
+    EXPECT_EQ(support::parseUint64(huge), std::nullopt);
+    EXPECT_EQ(support::parseInt64("-9000000000000000000000000000000"),
+              std::nullopt);
+    EXPECT_EQ(support::parseInt64("9223372036854775808"), std::nullopt);
+    EXPECT_EQ(support::parseUint64("18446744073709551616"), std::nullopt);
+    // And out-of-int values are rejected by the int window, not
+    // truncated through a cast ("--seeds 99999999999").
+    EXPECT_EQ(support::parseInt("99999999999"), std::nullopt);
+}
+
+TEST(ParseNum, EnforcesInclusiveWindows)
+{
+    EXPECT_EQ(support::parseInt64("5", 5, 10), 5);
+    EXPECT_EQ(support::parseInt64("10", 5, 10), 10);
+    EXPECT_EQ(support::parseInt64("4", 5, 10), std::nullopt);
+    EXPECT_EQ(support::parseInt64("11", 5, 10), std::nullopt);
+    // The campaign's flag policies: --jobs >= 0, seed counts >= 1.
+    EXPECT_EQ(support::parseInt("-4", 0), std::nullopt);
+    EXPECT_EQ(support::parseInt("0", 0), 0);
+    EXPECT_EQ(support::parseInt("0", 1), std::nullopt);
+    EXPECT_EQ(support::parseUint64("0", 1), std::nullopt);
+}
 
 TEST(Rng, DeterministicAndBounded)
 {
