@@ -25,7 +25,9 @@
 #include "ast/printer.h"
 #include "bench_util.h"
 #include "compiler/compiler.h"
+#include "frontend/parser.h"
 #include "generator/generator.h"
+#include "ir/lowering.h"
 #include "oracle/oracle.h"
 #include "support/parse_num.h"
 #include "vm/vm.h"
@@ -103,6 +105,64 @@ main(int argc, char **argv)
                 "resets)\n",
                 machine.stats().machinesBuilt,
                 machine.stats().executions, machine.stats().resets);
+
+    bench::rule();
+    bench::header("dispatch cost (struct-walking vs bytecode, silent run)");
+    // The silent-run configuration is the campaign's hot loop: no
+    // tracing, no profiling, no ground truth. A step-heavy program so
+    // the per-step dispatch cost dominates per-run setup; same binary,
+    // same steps — only the interpreter differs.
+    auto loopProg = frontend::parseOrDie(R"(int a[64];
+int helper(int x) {
+    return x * 3 + 1;
+}
+int main(void) {
+    long s = 0l;
+    for (int i = 0; i < 20000; i += 1) {
+        int j = i % 64;
+        a[j] = a[j] + helper(i);
+        s += (long)(a[j] % 100);
+        s += (long)((i * 7) % 13);
+    }
+    __checksum(s);
+    return (int)(s % 256l);
+}
+)");
+    ast::PrintedProgram loopPrinted = ast::printProgram(*loopProg);
+    ir::Module loopMod = ir::lowerProgram(*loopProg, loopPrinted.map);
+    vm::Machine refMachine;
+    vm::ExecResult refRes = refMachine.runReference(loopMod);
+    vm::Machine fastMachine;
+    vm::ExecResult fastRes = fastMachine.run(loopMod);
+    if (fastRes.checksum != refRes.checksum ||
+        fastRes.steps != refRes.steps) {
+        std::fprintf(stderr, "FAIL: bytecode run diverged from the "
+                             "reference interpreter\n");
+        return 1;
+    }
+    int dispatchRuns = std::max(10, runs / 10);
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < dispatchRuns; i++)
+        refMachine.runReference(loopMod);
+    double refSecs = secondsSince(t0);
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < dispatchRuns; i++)
+        fastMachine.run(loopMod);
+    double fastSecs = secondsSince(t0);
+    double stepsTotal = static_cast<double>(refRes.steps) *
+                        static_cast<double>(dispatchRuns);
+    double refNs = refSecs * 1e9 / stepsTotal;
+    double fastNs = fastSecs * 1e9 / stepsTotal;
+    std::printf("steps/exec:       %llu\n",
+                static_cast<unsigned long long>(refRes.steps));
+    std::printf("struct-walking:   %8.2f ns/step\n", refNs);
+    std::printf("bytecode:         %8.2f ns/step  (%.2fx)\n", fastNs,
+                fastNs > 0 ? refNs / fastNs : 0.0);
+    std::printf("translations:     %zu (hits: %zu, for %zu "
+                "bytecode executions)\n",
+                fastMachine.stats().translations,
+                fastMachine.stats().translationHits,
+                fastMachine.stats().executions);
 
     bench::rule();
     bench::header("one differential matrix through an ExecutionPlan");

@@ -130,6 +130,12 @@ main(int argc, char **argv)
     std::printf("machines built:   %zu\n", stats.exec.machinesBuilt);
     std::printf("machine resets:   %zu\n", stats.exec.resets);
     std::printf("executions:       %zu\n", stats.exec.executions);
+    // Bytecode engine: every execution resolves through the per-unit
+    // CodeCache exactly once, so executions == translations + hits; a
+    // binary re-executed (the debugger trace runs) is a hit, never a
+    // second flattening.
+    std::printf("translations:     %zu\n", stats.exec.translations);
+    std::printf("translation hits: %zu\n", stats.exec.translationHits);
     std::printf("dedup skips:      %zu\n", stats.exec.dedupSkips);
     std::printf("corpus replays:   %zu\n", stats.exec.corpusSkips);
     std::printf("unique programs:  %zu (cross-seed duplicates: %zu)\n",

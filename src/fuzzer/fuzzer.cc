@@ -11,6 +11,7 @@
 #include "oracle/oracle.h"
 #include "support/diagnostics.h"
 #include "support/rng.h"
+#include "vm/bytecode.h"
 #include "vm/vm.h"
 
 namespace ubfuzz::fuzzer {
@@ -207,11 +208,26 @@ class Campaign
           case SourceMode::Music: {
             gc.safeMath = true;
             auto seed = gen::generateProgram(gc);
+            // Every MUSIC mutant is a single-site perturbation of one
+            // function of the cloned seed, so the seed-level cache
+            // applies exactly as in UBFuzz mode: lower the clean seed
+            // once, splice every unperturbed function into each
+            // mutant's module, re-lower only the mutated one (the PR 4
+            // follow-up). musicMutate reports the perturbed function.
+            compiler::SeedLoweringCache seedCache(*seed,
+                                                  &stats_.compile);
             for (int m = 0; m < cfg_.mutantsPerSeed; m++) {
-                auto mutant = mutation::musicMutate(*seed, rng);
+                uint32_t fnId = 0;
+                auto mutant = mutation::musicMutate(*seed, rng, &fnId);
                 if (!mutant)
                     continue;
-                classifyAndTest(std::move(mutant));
+                ast::PrintedProgram printed =
+                    ast::printProgram(*mutant);
+                ir::Module mod = seedCache.lowerDerived(
+                    *mutant, printed, fnId, &stats_.compile);
+                classifyAndTestLowered(std::move(mutant),
+                                       std::move(printed),
+                                       std::move(mod));
             }
             break;
           }
@@ -232,24 +248,51 @@ class Campaign
     CampaignStats stats_;
 
     /**
+     * One bytecode cache per unit: every machine of the unit — the
+     * per-program differential machines and the classifier below —
+     * resolves modules through it, so a binary executed more than once
+     * (the debugger re-execution of a silent binary, a re-validated
+     * module) is flattened exactly once. Single-threaded like the
+     * compilation caches; the orchestrator's parallelism is across
+     * units. Declared before the machines that point at it.
+     */
+    vm::CodeCache codeCache_;
+
+    /**
      * One machine per unit for the ground-truth classifier: baseline
      * modes classify many programs per seed (Music: every mutant), and
      * each classification is a single execution — the rebuild cost
      * vm::execute would pay per call dwarfs the run. Its work counters
      * are deliberately not merged into CampaignStats::exec, which
      * tracks the differential engine (one machine per *tested*
-     * program; the CI invariant machinesBuilt + corpusSkips ==
-     * ubPrograms depends on that).
+     * program; the CI invariants machinesBuilt + corpusSkips ==
+     * ubPrograms and executions == translations + translationHits
+     * depend on that).
      */
-    vm::Machine classifyMachine_;
+    vm::Machine classifyMachine_{&codeCache_};
 
-    /** Ground-truth classify a baseline program, then test if UB. */
+    /** Ground-truth classify a baseline program, then test if UB.
+     *  Lowers from scratch — for sources with no seed base to lower
+     *  incrementally from (one generated program per NoSafe seed, the
+     *  fixed Juliet cases); Music mutants come through
+     *  classifyAndTestLowered with their incremental module. */
     void
     classifyAndTest(std::unique_ptr<ast::Program> prog)
     {
         ast::PrintedProgram printed = ast::printProgram(*prog);
         ir::Module mod =
             compiler::lowerOnce(*prog, printed, &stats_.compile);
+        classifyAndTestLowered(std::move(prog), std::move(printed),
+                               std::move(mod));
+    }
+
+    /** The classify tail for callers that already printed and lowered
+     *  the program (incrementally or not): one ground-truth run
+     *  through the unit's classifier machine, then the full matrix. */
+    void
+    classifyAndTestLowered(std::unique_ptr<ast::Program> prog,
+                           ast::PrintedProgram printed, ir::Module mod)
+    {
         vm::ExecOptions opts;
         opts.groundTruth = true;
         opts.stepLimit = cfg_.stepLimit;
@@ -310,8 +353,10 @@ class Campaign
 
         // One machine per UB program: the whole config matrix below —
         // including the debugger re-executions — runs through it, with
-        // a cheap reset between runs instead of a rebuild.
-        vm::Machine machine;
+        // a cheap reset between runs instead of a rebuild. It shares
+        // the unit's bytecode cache, so re-executions of a binary any
+        // machine of this unit already ran reuse the translation.
+        vm::Machine machine(&codeCache_);
         CampaignStats delta;
         testItemMatrix(std::move(item), ub_loc, cache, machine, delta);
         stats_.exec.merge(machine.stats());

@@ -223,14 +223,19 @@ printModule(const Module &m)
     return os.str();
 }
 
-std::string
-executionKey(const Module &m)
+namespace {
+
+/**
+ * The one serializer behind executionKey and binaryKey: every field
+ * the VM reads, in a fixed order, written through @p raw. binaryKey
+ * streams the bytes into an FNV-1a hash without materializing the
+ * multi-KB string — it runs once per execution on paths that have no
+ * precomputed key, so the allocation matters.
+ */
+template <typename RawFn>
+void
+serializeExecutionKey(const Module &m, RawFn &&raw)
 {
-    std::string key;
-    key.reserve(4096);
-    auto raw = [&key](const void *p, size_t n) {
-        key.append(static_cast<const char *>(p), n);
-    };
     auto u64 = [&raw](uint64_t v) { raw(&v, sizeof(v)); };
     auto val = [&u64](const Value &v) {
         u64(static_cast<uint64_t>(v.tag));
@@ -301,6 +306,34 @@ executionKey(const Module &m)
             }
         }
     }
+}
+
+} // namespace
+
+std::string
+executionKey(const Module &m)
+{
+    std::string key;
+    key.reserve(4096);
+    serializeExecutionKey(m, [&key](const void *p, size_t n) {
+        key.append(static_cast<const char *>(p), n);
+    });
+    return key;
+}
+
+BinaryKey
+binaryKey(const Module &m)
+{
+    BinaryKey key;
+    key.hash = 0xcbf29ce484222325ULL;
+    serializeExecutionKey(m, [&key](const void *p, size_t n) {
+        const unsigned char *bytes = static_cast<const unsigned char *>(p);
+        uint64_t h = key.hash;
+        for (size_t i = 0; i < n; i++)
+            h = (h ^ bytes[i]) * 0x100000001b3ULL;
+        key.hash = h;
+        key.len += n;
+    });
     return key;
 }
 

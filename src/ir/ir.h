@@ -70,6 +70,14 @@ enum class Opcode : uint8_t {
     MsanCheck,     ///< uninitialized-value check of a
 };
 
+/**
+ * Number of IR opcodes. New opcodes must be appended before this stays
+ * correct; the bytecode flattener sizes its opcode->handler table with
+ * it and a test walks every value, so a gap shows up immediately.
+ */
+inline constexpr size_t kNumOpcodes =
+    static_cast<size_t>(Opcode::MsanCheck) + 1;
+
 const char *opcodeName(Opcode op);
 
 /** An operand: a register or an immediate. */
@@ -310,6 +318,35 @@ std::string printModule(const Module &m);
  * renamed-but-identical binaries still share a key.
  */
 std::string executionKey(const Module &m);
+
+/**
+ * Compact identity of a binary: FNV-1a hash and length of its
+ * executionKey. Two modules with equal keys are indistinguishable to
+ * the VM under every ExecOptions (same collision-risk tradeoff the
+ * corpus dedup makes: a 64-bit hash *and* the serialized length).
+ * The batch runner's execution dedup and the VM's code cache both key
+ * on this, so one serialization pass serves both.
+ */
+struct BinaryKey
+{
+    uint64_t hash = 0;
+    uint64_t len = 0;
+
+    friend bool
+    operator==(const BinaryKey &a, const BinaryKey &b)
+    {
+        return a.hash == b.hash && a.len == b.len;
+    }
+
+    friend bool
+    operator<(const BinaryKey &a, const BinaryKey &b)
+    {
+        return a.hash != b.hash ? a.hash < b.hash : a.len < b.len;
+    }
+};
+
+/** The BinaryKey of @p m (serializes executionKey(m) once). */
+BinaryKey binaryKey(const Module &m);
 
 /**
  * Structural sanity check (register def-before-use inside blocks,

@@ -22,6 +22,8 @@ struct Opportunity
     size_t stmtIndex = 0;
     IfStmt *ifStmt = nullptr;
     WhileStmt *whileStmt = nullptr;
+    /** nodeId of the FunctionDecl whose body holds the site. */
+    uint32_t fnId = 0;
 };
 
 class Collector
@@ -32,13 +34,24 @@ class Collector
     void
     run(Program &p)
     {
-        for (FunctionDecl *f : p.functions())
-            if (f->body())
+        for (FunctionDecl *f : p.functions()) {
+            if (f->body()) {
+                fnId_ = f->nodeId();
                 walkBlock(f->body());
+            }
+        }
     }
 
   private:
     std::vector<Opportunity> &out_;
+    uint32_t fnId_ = 0;
+
+    void
+    push(Opportunity op)
+    {
+        op.fnId = fnId_;
+        out_.emplace_back(op);
+    }
 
     void
     walkBlock(Block *b)
@@ -54,7 +67,7 @@ class Collector
                 op.kind = Opportunity::Kind::DeleteStmt;
                 op.block = b;
                 op.stmtIndex = i;
-                out_.push_back(op);
+                push(op);
             }
             walkStmt(s);
         }
@@ -80,7 +93,7 @@ class Collector
             Opportunity op;
             op.kind = Opportunity::Kind::NegateCond;
             op.ifStmt = i;
-            out_.push_back(op);
+            push(op);
             walkExpr(i->cond());
             walkBlock(i->thenBlock());
             if (i->elseBlock())
@@ -126,25 +139,25 @@ class Collector
             op.binary = b;
             if (isComparisonOp(b->op()) && int_operands) {
                 op.kind = Opportunity::Kind::RelOp;
-                out_.push_back(op);
+                push(op);
             } else if ((isArithOp(b->op()) || isDivRemOp(b->op())) &&
                        int_operands) {
                 op.kind = Opportunity::Kind::ArithOp;
-                out_.push_back(op);
+                push(op);
             } else if (isLogicalOp(b->op())) {
                 op.kind = Opportunity::Kind::LogicOp;
-                out_.push_back(op);
+                push(op);
             } else if (b->op() == BinaryOp::BitAnd ||
                        b->op() == BinaryOp::BitOr) {
                 op.kind = Opportunity::Kind::BitOp;
-                out_.push_back(op);
+                push(op);
             }
         }
         if (auto *l = e->dynCast<IntLit>()) {
             Opportunity op;
             op.kind = Opportunity::Kind::Constant;
             op.lit = l;
-            out_.push_back(op);
+            push(op);
         }
         forEachChildExpr(e, [&](Expr *c) { walkExpr(c); });
     }
@@ -153,8 +166,10 @@ class Collector
 } // namespace
 
 std::unique_ptr<ast::Program>
-musicMutate(const Program &seed, Rng &rng)
+musicMutate(const Program &seed, Rng &rng, uint32_t *perturbedFnId)
 {
+    if (perturbedFnId)
+        *perturbedFnId = 0;
     ClonedProgram clone = cloneProgram(seed);
     Program &p = *clone.program;
     ExprBuilder eb(p);
@@ -164,6 +179,8 @@ musicMutate(const Program &seed, Rng &rng)
     if (ops.empty())
         return nullptr;
     const Opportunity &op = ops[rng.index(ops)];
+    if (perturbedFnId)
+        *perturbedFnId = op.fnId;
 
     switch (op.kind) {
       case Opportunity::Kind::ArithOp: {

@@ -30,9 +30,18 @@ namespace ubfuzz::mutation {
 /**
  * Produce one random mutant of @p seed (nullptr when the program
  * offers no mutation opportunity). Deterministic in @p rng.
+ *
+ * Every MUSIC operator perturbs exactly one function body of a
+ * node-id-preserving clone; when @p perturbedFnId is non-null it
+ * receives the FunctionDecl nodeId of that function (0 when no mutant
+ * was produced). That is the handle compiler::SeedLoweringCache needs
+ * to lower the mutant incrementally — splice every other function from
+ * the seed's base module and re-lower only the mutated one — exactly
+ * like UBGen's UBProgram::perturbedFnId.
  */
 std::unique_ptr<ast::Program> musicMutate(const ast::Program &seed,
-                                          Rng &rng);
+                                          Rng &rng,
+                                          uint32_t *perturbedFnId = nullptr);
 
 } // namespace ubfuzz::mutation
 

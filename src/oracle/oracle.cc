@@ -23,12 +23,15 @@ ExecutionPlan::compile(compiler::CompilationCache &cache,
     plan.cache_ = &cache;
     plan.outcomes_.reserve(configs.size());
     plan.aliasOf_.reserve(configs.size());
+    plan.keys_.reserve(configs.size());
     // Map each binary's execution key to the first outcome that has
     // it: later identical binaries alias their execution to it. Keyed
-    // by (hash, length) of the serialized key rather than the multi-KB
-    // key itself — the same collision-risk tradeoff the corpus dedup
-    // makes.
-    std::map<std::pair<uint64_t, uint64_t>, size_t> firstWithKey;
+    // by ir::BinaryKey — (hash, length) of the serialized key rather
+    // than the multi-KB key itself, the same collision-risk tradeoff
+    // the corpus dedup makes. The keys are retained: run() hands them
+    // to the machine so the VM's code cache reuses this serialization
+    // pass instead of re-walking every module per execution.
+    std::map<ir::BinaryKey, size_t> firstWithKey;
     for (const compiler::CompilerConfig &cfg : configs) {
         compiler::Binary binary = cache.compile(cfg);
         ConfigOutcome outcome;
@@ -36,10 +39,10 @@ ExecutionPlan::compile(compiler::CompilationCache &cache,
         outcome.log = std::move(binary.log);
         outcome.module = std::move(binary.module);
         size_t idx = plan.outcomes_.size();
-        std::string key = ir::executionKey(outcome.module);
-        auto [it, inserted] = firstWithKey.emplace(
-            std::make_pair(compiler::textHash(key), key.size()), idx);
+        ir::BinaryKey key = ir::binaryKey(outcome.module);
+        auto [it, inserted] = firstWithKey.emplace(key, idx);
         plan.aliasOf_.push_back(it->second);
+        plan.keys_.push_back(key);
         plan.outcomes_.push_back(std::move(outcome));
         (void)inserted;
     }
@@ -61,7 +64,8 @@ ExecutionPlan::run(vm::Machine &machine, uint64_t stepLimit)
         }
         vm::ExecOptions opts;
         opts.stepLimit = stepLimit;
-        outcomes_[i].result = machine.run(outcomes_[i].module, opts);
+        outcomes_[i].result =
+            machine.run(outcomes_[i].module, opts, &keys_[i]);
     }
 
     // Find discrepant pairs: some binary reports, another does not. A
@@ -104,8 +108,10 @@ ExecutionPlan::run(vm::Machine &machine, uint64_t stepLimit)
         vm::ExecOptions opts;
         opts.stepLimit = stepLimit;
         opts.recordTrace = true;
-        traces[k] =
-            machine.run(outcomes_[silent[k]].module, opts).trace;
+        traces[k] = machine
+                        .run(outcomes_[silent[k]].module, opts,
+                             &keys_[silent[k]])
+                        .trace;
         cache_->noteTraceExecution();
     }
 

@@ -94,6 +94,13 @@ struct DifferentialResult
  * are byte-identical (equal ir::executionKey — e.g. both vendors'
  * modules at equivalent opt points) execute once; the others copy the
  * result and count a dedup skip on the machine's ExecStats.
+ *
+ * The ir::BinaryKey computed per outcome for that dedup is retained
+ * and handed to every machine.run() call, so the machine's CodeCache
+ * resolves each binary to its flattened bytecode without a second
+ * serialization pass — one key computation serves both the execution
+ * dedup and the translate-once cache, and the lazy debugger re-runs
+ * hit the translation their silent run produced.
  */
 class ExecutionPlan
 {
@@ -115,6 +122,10 @@ class ExecutionPlan
     std::vector<ConfigOutcome> outcomes_;
     /** Index of the first outcome with an identical execution key. */
     std::vector<size_t> aliasOf_;
+    /** Each outcome's ir::BinaryKey, computed once at compile time and
+     *  handed to the machine so its CodeCache never re-serializes a
+     *  module it is about to execute. */
+    std::vector<ir::BinaryKey> keys_;
 };
 
 /**

@@ -2,8 +2,23 @@
 
 #include <cstring>
 #include <map>
+#include <memory>
 
 #include "support/diagnostics.h"
+#include "vm/bytecode.h"
+
+/**
+ * Dispatch strategy for the bytecode interpreter: computed goto
+ * (labels-as-values) where the compiler supports it, a tight switch in
+ * a loop otherwise. The handler bodies are shared between both forms
+ * via the VM_CASE/VM_NEXT macros in execProgram.
+ */
+#if (defined(__GNUC__) || defined(__clang__)) &&                           \
+    !defined(UBFUZZ_NO_COMPUTED_GOTO)
+#define UBFUZZ_CGOTO 1
+#else
+#define UBFUZZ_CGOTO 0
+#endif
 
 namespace ubfuzz::vm {
 
@@ -166,6 +181,46 @@ struct Frame
     ScalarKind callerKind = ScalarKind::S64;
 };
 
+/**
+ * A bytecode frame: like Frame but pc-based (no block/ip pair) and
+ * pooled — popped frames keep their vector capacities and are reused
+ * by the next push, so a recursive workload stops allocating once the
+ * call depth has been visited. Shadow/provenance planes are assigned
+ * only in the dispatch modes that read them.
+ */
+struct BFrame
+{
+    uint32_t fnIdx = 0;
+    /** pc to resume at in the caller (call pc + 1). */
+    uint32_t retPc = 0;
+    uint32_t callerDst = 0;
+    ScalarKind callerKind = ScalarKind::S64;
+    uint64_t savedSp = 0;
+    std::vector<uint64_t> regs;
+    std::vector<uint8_t> rsh;
+    std::vector<uint64_t> prov;
+    std::vector<uint64_t> objIds;
+};
+
+/** The dispatch modes the interpreter loop is instantiated over. The
+ *  first three pay zero per-step option tests; Generic re-tests the
+ *  run options at each use (tracing / profiling runs only). */
+enum class Mode : uint8_t { Silent, Shadow, Ground, Generic };
+
+/** canonical() with the scalar width/signedness pre-decoded by the
+ *  flattener (same math; no ast::scalarBits call in the hot loop). */
+inline uint64_t
+canonFast(uint64_t raw, int bits, bool sgn)
+{
+    if (bits >= 64 || bits == 0)
+        return raw;
+    uint64_t mask = (1ULL << bits) - 1;
+    raw &= mask;
+    if (sgn && (raw & (1ULL << (bits - 1))))
+        raw |= ~mask;
+    return raw;
+}
+
 } // namespace
 
 /**
@@ -178,7 +233,7 @@ struct Frame
  */
 struct Machine::Impl
 {
-    Impl()
+    explicit Impl(CodeCache *cache) : cache_(cache ? cache : &ownCache_)
     {
         globals_.base = kGlobalBase;
         stack_.base = kStackBase;
@@ -187,8 +242,49 @@ struct Machine::Impl
         stats_.machinesBuilt++;
     }
 
+    /** The hot path: resolve @p m to a (possibly cached) translation
+     *  and interpret it with the mode-specialized dispatch loop. */
     ExecResult
-    run(const ir::Module &m, const ExecOptions &opts)
+    run(const ir::Module &m, const ExecOptions &opts,
+        const ir::BinaryKey *key)
+    {
+        UBF_ASSERT(m.mainIndex >= 0, "module has no main");
+        bool hit = false;
+        std::shared_ptr<const bc::Program> prog = cache_->translation(
+            m, key ? *key : ir::binaryKey(m), &hit);
+        if (hit)
+            stats_.translationHits++;
+        else
+            stats_.translations++;
+        return runBytecode(*prog, opts);
+    }
+
+    ExecResult
+    runBytecode(const bc::Program &p, const ExecOptions &opts)
+    {
+        reset();
+        dirty_ = true;
+        stats_.executions++;
+        bp_ = &p;
+        opts_ = opts;
+        trackShadow_ = p.msan.enabled || opts_.groundTruth;
+        loadGlobals(p.globals, p.asanGlobals);
+        if (opts_.recordTrace || opts_.profile)
+            execProgram<Mode::Generic>();
+        else if (opts_.groundTruth)
+            execProgram<Mode::Ground>();
+        else if (trackShadow_)
+            execProgram<Mode::Shadow>();
+        else
+            execProgram<Mode::Silent>();
+        bp_ = nullptr;
+        return std::move(result_);
+    }
+
+    /** The reference struct-walking interpreter (pre-flattener
+     *  semantics, kept verbatim): the parity baseline. */
+    ExecResult
+    runReference(const ir::Module &m, const ExecOptions &opts)
     {
         UBF_ASSERT(m.mainIndex >= 0, "module has no main");
         reset();
@@ -197,7 +293,7 @@ struct Machine::Impl
         m_ = &m;
         opts_ = opts;
         trackShadow_ = m_->msan.enabled || opts_.groundTruth;
-        loadGlobals();
+        loadGlobals(m_->globals, m_->asanGlobals);
         pushFrame(static_cast<uint32_t>(m_->mainIndex), {}, {}, 0,
                   ScalarKind::S32);
         while (!done_) {
@@ -236,6 +332,7 @@ struct Machine::Impl
         byBase_.clear();
         memProv_.clear();
         frames_.clear();
+        bframeTop_ = 0;
         nextObjectId_ = 1;
         sp_ = kStackBase + 64;
         curLoc_ = SourceLoc{};
@@ -363,13 +460,16 @@ struct Machine::Impl
 
     std::vector<uint64_t> globalAddrs_;
 
+    /** Shared by both interpreters: the reference passes the module's
+     *  globals, the bytecode path the translation's copy. */
     void
-    loadGlobals()
+    loadGlobals(const std::vector<ir::GlobalObject> &globals,
+                bool asanGlobals)
     {
         uint64_t off = 64; // keep a small guard at segment start
         // Layout pass.
-        for (const ir::GlobalObject &g : m_->globals) {
-            uint32_t rz = m_->asanGlobals ? g.redzone : 0;
+        for (const ir::GlobalObject &g : globals) {
+            uint32_t rz = asanGlobals ? g.redzone : 0;
             off = (off + g.align - 1) / g.align * g.align;
             off += rz;
             // Redzones must keep natural alignment of the payload.
@@ -379,8 +479,8 @@ struct Machine::Impl
         }
         globals_.grow(off + 64);
         // Contents, shadow, object registry, relocations.
-        for (size_t i = 0; i < m_->globals.size(); i++) {
-            const ir::GlobalObject &g = m_->globals[i];
+        for (size_t i = 0; i < globals.size(); i++) {
+            const ir::GlobalObject &g = globals[i];
             uint64_t base = globalAddrs_[i];
             uint8_t *p = globals_.mem.data() + (base - kGlobalBase);
             std::memcpy(p, g.init.data(), g.size);
@@ -388,7 +488,7 @@ struct Machine::Impl
             globalObjIds_.push_back(
                 registerObject(base, g.size, ObjectKind::Global,
                                g.declId));
-            if (m_->asanGlobals && g.redzone) {
+            if (asanGlobals && g.redzone) {
                 setPoison(base - g.redzone, g.redzone, kPoisonGlobalRz);
                 // poisonSkip models the Wrong Red-Zone Buffer bug class
                 // (Figure 12d): the first bytes past the object are
@@ -399,8 +499,8 @@ struct Machine::Impl
                           kPoisonGlobalRz);
             }
         }
-        for (size_t i = 0; i < m_->globals.size(); i++) {
-            const ir::GlobalObject &g = m_->globals[i];
+        for (size_t i = 0; i < globals.size(); i++) {
+            const ir::GlobalObject &g = globals[i];
             uint64_t base = globalAddrs_[i];
             for (const auto &reloc : g.relocs) {
                 uint64_t target = globalAddrs_[reloc.targetIndex] +
@@ -1263,8 +1363,1060 @@ struct Machine::Impl
         f.ip++;
     }
 
-    /** The module of the current run; bound by run(). */
+    //===------------------------------------------------------------===//
+    // The bytecode interpreter (the hot path)
+    //
+    // One dispatch loop, instantiated per Mode. The specialized modes
+    // compile the shadow/ground-truth/trace/profile tests away; the
+    // Generic instantiation re-tests the run options like the
+    // reference interpreter does (it only runs for traced or profiled
+    // executions). Every handler mirrors the corresponding step() arm
+    // of the reference interpreter exactly — including evaluation
+    // order around register writes — so results are bit-identical
+    // (test_bytecode's parity suite).
+    //===------------------------------------------------------------===//
+
+    static constexpr uint32_t kNoLocPc = 0xFFFFFFFFu;
+
+    template <Mode M>
+    bool
+    mShadow() const
+    {
+        if constexpr (M == Mode::Generic)
+            return trackShadow_;
+        else
+            return M != Mode::Silent;
+    }
+
+    template <Mode M>
+    bool
+    mGround() const
+    {
+        if constexpr (M == Mode::Generic)
+            return opts_.groundTruth;
+        else
+            return M == Mode::Ground;
+    }
+
+    template <Mode M>
+    bool
+    mTrace() const
+    {
+        if constexpr (M == Mode::Generic)
+            return opts_.recordTrace;
+        else
+            return false;
+    }
+
+    template <Mode M>
+    bool
+    mProfile() const
+    {
+        if constexpr (M == Mode::Generic)
+            return opts_.profile != nullptr;
+        else
+            return false;
+    }
+
+    /** Push a bytecode frame (args marshaled into the scratch arrays).
+     *  @return false when a StackOverflow trap ended the run; the trap
+     *  site is the last executed valid loc, like the reference. */
+    template <Mode M>
+    bool
+    bcPushFrame(uint32_t fnIdx, uint32_t nArgs, uint32_t callerDst,
+                ScalarKind callerKind, uint32_t retPc, uint32_t curLocPc)
+    {
+        auto curLoc = [&]() -> SourceLoc {
+            return curLocPc == kNoLocPc ? SourceLoc{}
+                                        : bp_->locs[curLocPc];
+        };
+        if (bframeTop_ >= kMaxCallDepth) {
+            trap(TrapKind::StackOverflow, curLoc());
+            return false;
+        }
+        const bc::BFunction &fn = bp_->functions[fnIdx];
+        if (bframeTop_ == bframes_.size())
+            bframes_.emplace_back();
+        BFrame &f = bframes_[bframeTop_];
+        f.fnIdx = fnIdx;
+        f.retPc = retPc;
+        f.callerDst = callerDst;
+        f.callerKind = callerKind;
+        f.savedSp = sp_;
+        f.regs.assign(fn.numRegs, 0);
+        if (mShadow<M>())
+            f.rsh.assign(fn.numRegs, 0);
+        if (mGround<M>())
+            f.prov.assign(fn.numRegs, 0);
+        f.objIds.clear();
+        for (size_t i = 0; i < fn.frame.size(); i++) {
+            const ir::FrameObject &obj = fn.frame[i];
+            uint32_t rz = obj.redzone;
+            sp_ = (sp_ + obj.align - 1) / obj.align * obj.align;
+            sp_ += rz;
+            sp_ = (sp_ + obj.align - 1) / obj.align * obj.align;
+            uint64_t base = sp_;
+            sp_ += std::max<uint64_t>(obj.size, 1) + rz;
+            noteStackWrite(sp_);
+            if (sp_ > kStackBase + kStackCapacity) {
+                trap(TrapKind::StackOverflow, curLoc());
+                return false;
+            }
+            uint64_t id = registerObject(base, obj.size,
+                                         ObjectKind::Stack, obj.declId);
+            f.objIds.push_back(id);
+            std::memset(stack_.mem.data() + (base - stack_.base),
+                        kFillByte, obj.size);
+            if (mShadow<M>())
+                setMsanShadow(base, obj.size, 1);
+            if (rz) {
+                setPoison(base - rz, rz, kPoisonStackRz);
+                setPoison(base + obj.size, rz, kPoisonStackRz);
+            }
+        }
+        for (uint32_t i = 0; i < fn.numParams && i < nArgs; i++) {
+            uint64_t base = objects_[f.objIds[i] - 1].base;
+            uint64_t size = fn.frame[i].size;
+            std::memcpy(stack_.mem.data() + (base - kStackBase),
+                        &scratchArgs_[i], size);
+            if (mShadow<M>())
+                setMsanShadow(base, size, scratchSh_[i]);
+            if (mGround<M>() && scratchProv_[i] && size == 8)
+                memProv_[base] = scratchProv_[i];
+        }
+        bframeTop_++;
+        return true;
+    }
+
+    /** Pop the current bytecode frame. @return the caller resume pc
+     *  (meaningless once done_). */
+    template <Mode M>
+    uint32_t
+    bcPopFrame(uint64_t retValue, uint8_t retShadow, uint64_t retProv)
+    {
+        BFrame &f = bframes_[bframeTop_ - 1];
+        for (uint64_t id : f.objIds) {
+            Object &obj = objects_[id - 1];
+            auto it = byBase_.find(obj.base);
+            if (it != byBase_.end() && it->second == id)
+                byBase_.erase(it);
+            obj.state = ObjectState::ScopeEnded;
+        }
+        uint64_t lo = f.savedSp, hi = sp_;
+        if (hi > lo) {
+            setPoison(lo, hi - lo, kPoisonNone);
+            if (mGround<M>()) {
+                memProv_.erase(memProv_.lower_bound(lo),
+                               memProv_.lower_bound(hi));
+            }
+        }
+        sp_ = f.savedSp;
+        uint32_t dst = f.callerDst;
+        ScalarKind k = f.callerKind;
+        uint32_t retPc = f.retPc;
+        bframeTop_--;
+        if (bframeTop_ == 0) {
+            result_.exitCode =
+                static_cast<int64_t>(canonical(retValue, k));
+            done_ = true;
+            return 0;
+        }
+        BFrame &caller = bframes_[bframeTop_ - 1];
+        if (dst) {
+            caller.regs[dst] = canonical(retValue, k);
+            if (mShadow<M>())
+                caller.rsh[dst] = retShadow;
+            if (mGround<M>())
+                caller.prov[dst] = retProv;
+        }
+        return retPc;
+    }
+
+    template <Mode M, bool AImm, bool BImm>
+    void
+    fastBin(const bc::BInst &bi, BFrame &f, uint32_t pc)
+    {
+        const bool sgn = bi.flags & bc::kOpSigned;
+        const int bits = bi.bits;
+        const uint64_t rawB = BImm ? bi.y : f.regs[bi.b];
+        const uint64_t a =
+            canonFast(AImm ? bi.x : f.regs[bi.a], bits, sgn);
+        const uint64_t b = canonFast(rawB, bits, sgn);
+        uint8_t shA = 0, shB = 0;
+        if (mShadow<M>()) {
+            if (!AImm)
+                shA = f.rsh[bi.a];
+            if (!BImm)
+                shB = f.rsh[bi.b];
+        }
+        if (mGround<M>() && (bi.flags & bc::kOpIrFlag)) {
+            if (sgn && (bi.flags & bc::kOpArith)) {
+                __int128 wa = static_cast<int64_t>(a);
+                __int128 wb = static_cast<int64_t>(b);
+                __int128 r = bi.binOp == ir::BinOp::Add   ? wa + wb
+                             : bi.binOp == ir::BinOp::Sub ? wa - wb
+                                                          : wa * wb;
+                __int128 lo = -(static_cast<__int128>(1) << (bits - 1));
+                __int128 hi =
+                    (static_cast<__int128>(1) << (bits - 1)) - 1;
+                if (r < lo || r > hi) {
+                    report(ReportKind::SignedIntegerOverflow,
+                           bp_->locs[pc]);
+                    return;
+                }
+            }
+            if (bi.flags & bc::kOpShift) {
+                int64_t count = static_cast<int64_t>(rawB);
+                if (count < 0 || count >= bits) {
+                    report(ReportKind::ShiftOutOfBounds, bp_->locs[pc]);
+                    return;
+                }
+            }
+            if (bi.flags & bc::kOpDivRem) {
+                if (shA || shB) {
+                    report(ReportKind::UninitValue, bp_->locs[pc]);
+                    return;
+                }
+                if (b == 0) {
+                    report(ReportKind::DivByZero, bp_->locs[pc]);
+                    return;
+                }
+                if (sgn && bits >= 1) {
+                    int64_t minv = bits >= 64 ? INT64_MIN
+                                              : -(1LL << (bits - 1));
+                    if (static_cast<int64_t>(a) == minv &&
+                        static_cast<int64_t>(b) == -1) {
+                        report(ReportKind::SignedIntegerOverflow,
+                               bp_->locs[pc]);
+                        return;
+                    }
+                }
+            }
+        }
+        bool trapped = false;
+        uint64_t r = ir::evalBinary(bi.binOp, bi.kind, a, b, trapped);
+        if (trapped) {
+            trap(TrapKind::DivByZero, bp_->locs[pc]);
+            return;
+        }
+        const bool isCmp = bi.flags & bc::kOpCmp;
+        uint8_t sh = 0;
+        if (mShadow<M>()) {
+            sh = static_cast<uint8_t>(shA | shB);
+            if (sh) {
+                if (bp_->msan.bugSubConstDefined &&
+                    bi.binOp == ir::BinOp::Sub)
+                    sh = 0;
+                else if (bp_->msan.bugAndDefined &&
+                         bi.binOp == ir::BinOp::BitAnd)
+                    sh = 0;
+            }
+        }
+        f.regs[bi.dst] = isCmp ? (r ? 1 : 0) : canonFast(r, bits, sgn);
+        if (mShadow<M>())
+            f.rsh[bi.dst] = sh;
+        if (mGround<M>()) {
+            // Like the reference: the destination's provenance is
+            // cleared first, then the operands' provenance is read.
+            f.prov[bi.dst] = 0;
+            if (!isCmp) {
+                uint64_t pa = AImm ? 0 : f.prov[bi.a];
+                uint64_t pb = BImm ? 0 : f.prov[bi.b];
+                if ((pa != 0) != (pb != 0) && bi.dst)
+                    f.prov[bi.dst] = pa ? pa : pb;
+            }
+        }
+    }
+
+    template <Mode M, bool AImm, bool BImm>
+    void
+    fastGep(const bc::BInst &bi, BFrame &f, uint32_t pc)
+    {
+        const uint64_t base = AImm ? bi.x : f.regs[bi.a];
+        const int64_t idx =
+            static_cast<int64_t>(BImm ? bi.y : f.regs[bi.b]);
+        uint8_t shA = 0, shB = 0;
+        if (mShadow<M>()) {
+            if (!AImm)
+                shA = f.rsh[bi.a];
+            if (!BImm)
+                shB = f.rsh[bi.b];
+        }
+        if (mGround<M>() && (shA || shB)) {
+            report(ReportKind::UninitValue, bp_->locs[pc]);
+            return;
+        }
+        const uint64_t addr =
+            base +
+            static_cast<uint64_t>(idx * static_cast<int64_t>(bi.imm));
+        const uint64_t p = (mGround<M>() && !AImm) ? f.prov[bi.a] : 0;
+        f.regs[bi.dst] = addr;
+        if (mShadow<M>())
+            f.rsh[bi.dst] = static_cast<uint8_t>(shA | shB);
+        if (mGround<M>())
+            f.prov[bi.dst] = bi.dst ? p : 0;
+    }
+
+    template <Mode M, bool AImm>
+    void
+    fastLoad(const bc::BInst &bi, BFrame &f, uint32_t pc)
+    {
+        const uint64_t addr = AImm ? bi.x : f.regs[bi.a];
+        const uint64_t size = bi.imm;
+        if (mGround<M>()) {
+            if (!AImm && f.rsh[bi.a]) {
+                report(ReportKind::UninitValue, bp_->locs[pc]);
+                return;
+            }
+            if (preciseCheck(addr, size, bp_->locs[pc],
+                             AImm ? 0 : f.prov[bi.a]))
+                return;
+        }
+        if (addr < kNullGuard) {
+            trap(TrapKind::Segfault, bp_->locs[pc]);
+            return;
+        }
+        Segment *seg = segmentFor(addr, size);
+        if (!seg) {
+            trap(TrapKind::Segfault, bp_->locs[pc]);
+            return;
+        }
+        uint64_t raw = 0;
+        std::memcpy(&raw, seg->mem.data() + (addr - seg->base),
+                    std::min<uint64_t>(size, 8));
+        uint8_t sh = 0;
+        if (mShadow<M>()) {
+            for (uint64_t i = 0; i < size; i++)
+                sh |= seg->msh[addr - seg->base + i];
+        }
+        f.regs[bi.dst] =
+            canonFast(raw, bi.bits, bi.flags & bc::kOpSigned);
+        if (mShadow<M>())
+            f.rsh[bi.dst] = sh;
+        if (mGround<M>()) {
+            f.prov[bi.dst] = 0;
+            if (size == 8) {
+                auto it = memProv_.find(addr);
+                if (it != memProv_.end() && bi.dst)
+                    f.prov[bi.dst] = it->second;
+            }
+        }
+    }
+
+    template <Mode M, bool AImm, bool BImm>
+    void
+    fastStore(const bc::BInst &bi, BFrame &f, uint32_t pc)
+    {
+        const uint64_t addr = AImm ? bi.x : f.regs[bi.a];
+        const uint64_t size = bi.imm;
+        if (mGround<M>()) {
+            if (!AImm && f.rsh[bi.a]) {
+                report(ReportKind::UninitValue, bp_->locs[pc]);
+                return;
+            }
+            if (preciseCheck(addr, size, bp_->locs[pc],
+                             AImm ? 0 : f.prov[bi.a]))
+                return;
+        }
+        if (addr < kNullGuard) {
+            trap(TrapKind::Segfault, bp_->locs[pc]);
+            return;
+        }
+        Segment *seg = segmentFor(addr, size);
+        if (!seg) {
+            trap(TrapKind::Segfault, bp_->locs[pc]);
+            return;
+        }
+        uint64_t v = BImm ? bi.y : f.regs[bi.b];
+        if (seg == &stack_)
+            noteStackWrite(addr + size);
+        std::memcpy(seg->mem.data() + (addr - seg->base), &v,
+                    std::min<uint64_t>(size, 8));
+        if (mShadow<M>())
+            setMsanShadow(addr, size, BImm ? 0 : f.rsh[bi.b]);
+        if (mGround<M>()) {
+            uint64_t p = BImm ? 0 : f.prov[bi.b];
+            if (p && size == 8)
+                memProv_[addr] = p;
+            else
+                memProv_.erase(addr);
+        }
+    }
+
+    template <Mode M>
+    void
+    fastMemCopy(const bc::BInst &bi, BFrame &f, uint32_t pc)
+    {
+        const bool aImm = bi.flags & bc::kOpAImm;
+        const bool bImm = bi.flags & bc::kOpBImm;
+        const uint64_t dst = aImm ? bi.x : f.regs[bi.a];
+        const uint64_t src = bImm ? bi.y : f.regs[bi.b];
+        const uint64_t size = bi.imm;
+        if (mGround<M>()) {
+            if (preciseCheck(src, size, bp_->locs[pc],
+                             bImm ? 0 : f.prov[bi.b]) ||
+                preciseCheck(dst, size, bp_->locs[pc],
+                             aImm ? 0 : f.prov[bi.a]))
+                return;
+        }
+        if (dst < kNullGuard || src < kNullGuard) {
+            trap(TrapKind::Segfault, bp_->locs[pc]);
+            return;
+        }
+        Segment *sseg = segmentFor(src, size);
+        Segment *dseg = segmentFor(dst, size);
+        if (!sseg || !dseg) {
+            trap(TrapKind::Segfault, bp_->locs[pc]);
+            return;
+        }
+        if (dseg == &stack_)
+            noteStackWrite(dst + size);
+        std::memmove(dseg->mem.data() + (dst - dseg->base),
+                     sseg->mem.data() + (src - sseg->base), size);
+        if (mShadow<M>()) {
+            std::memmove(dseg->msh.data() + (dst - dseg->base),
+                         sseg->msh.data() + (src - sseg->base), size);
+        }
+        if (mGround<M>()) {
+            memProv_.erase(memProv_.lower_bound(dst),
+                           memProv_.lower_bound(dst + size));
+            std::vector<std::pair<uint64_t, uint64_t>> moved;
+            for (auto it = memProv_.lower_bound(src);
+                 it != memProv_.end() && it->first < src + size; ++it)
+                moved.emplace_back(it->first - src + dst, it->second);
+            for (const auto &[a, p] : moved)
+                memProv_[a] = p;
+        }
+    }
+
+    /**
+     * The dispatch loop proper. Handler bodies are written once and
+     * compiled either as computed-goto labels (direct threading) or as
+     * cases of a tight switch, selected by UBFUZZ_CGOTO. The label
+     * table is generated from the same X-macro as the BOp enum, so the
+     * orders cannot drift apart.
+     */
+    template <Mode M>
+    void
+    execProgram()
+    {
+        const bc::Program &p = *bp_;
+        const bc::BInst *const code = p.code.data();
+        const SourceLoc *const locs = p.locs.data();
+        const uint64_t limit = opts_.stepLimit;
+        uint64_t steps = 0;
+        uint32_t curLocPc = kNoLocPc;
+        uint32_t pc = 0;
+        BFrame *f = nullptr;
+        const bc::BInst *bi = nullptr;
+
+        if (!bcPushFrame<M>(static_cast<uint32_t>(p.mainIndex), 0, 0,
+                            ScalarKind::S32, 0, kNoLocPc)) {
+            result_.steps = steps;
+            return;
+        }
+        pc = p.functions[p.mainIndex].entryPc;
+        f = &bframes_[bframeTop_ - 1];
+
+// Generic-shape operand fetch (cold opcodes only).
+#define VM_A() ((bi->flags & bc::kOpAImm) ? bi->x : f->regs[bi->a])
+#define VM_B() ((bi->flags & bc::kOpBImm) ? bi->y : f->regs[bi->b])
+#define VM_C() ((bi->flags & bc::kOpCImm) ? bi->imm : f->regs[bi->c])
+
+#if UBFUZZ_CGOTO
+        static const void *const tbl[] = {
+#define UBFUZZ_BC_LABEL(name) &&H_##name,
+            UBFUZZ_BC_OPS(UBFUZZ_BC_LABEL)
+#undef UBFUZZ_BC_LABEL
+        };
+#define VM_CASE(name) H_##name
+#define VM_NEXT() goto vm_dispatch
+        goto vm_dispatch;
+#else
+#define VM_CASE(name) case bc::BOp::name
+#define VM_NEXT() continue
+        for (;;) {
+            if (done_)
+                break;
+            if (steps >= limit) {
+                result_.kind = ExecResult::Kind::Timeout;
+                break;
+            }
+            bi = &code[pc];
+            steps++;
+            if (bi->flags & bc::kOpLocValid)
+                curLocPc = pc;
+            if (mTrace<M>())
+                recordTrace(locs[pc]);
+            switch (bi->op) {
+#endif
+
+        VM_CASE(Nop) : { pc++; }
+        VM_NEXT();
+
+        VM_CASE(ConstK) : {
+            f->regs[bi->dst] = bi->x;
+            if (mShadow<M>())
+                f->rsh[bi->dst] = 0;
+            if (mGround<M>())
+                f->prov[bi->dst] = 0;
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(CastR) : {
+            const uint64_t pr = mGround<M>() ? f->prov[bi->a] : 0;
+            const uint8_t sh = mShadow<M>() ? f->rsh[bi->a] : 0;
+            f->regs[bi->dst] = canonFast(f->regs[bi->a], bi->bits,
+                                         bi->flags & bc::kOpSigned);
+            if (mShadow<M>())
+                f->rsh[bi->dst] = sh;
+            if (mGround<M>())
+                f->prov[bi->dst] = bi->dst ? pr : 0;
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(CastI) : {
+            f->regs[bi->dst] =
+                canonFast(bi->x, bi->bits, bi->flags & bc::kOpSigned);
+            if (mShadow<M>())
+                f->rsh[bi->dst] = 0;
+            if (mGround<M>())
+                f->prov[bi->dst] = 0;
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(Select) : {
+            const bool cImm = bi->flags & bc::kOpCImm;
+            const uint64_t cv = cImm ? bi->imm : f->regs[bi->c];
+            const uint8_t cSh =
+                (mShadow<M>() && !cImm) ? f->rsh[bi->c] : 0;
+            const bool cond = cv != 0;
+            const bool pickImm =
+                cond ? (bi->flags & bc::kOpAImm) != 0
+                     : (bi->flags & bc::kOpBImm) != 0;
+            const uint32_t pickReg = cond ? bi->a : bi->b;
+            const uint64_t v =
+                pickImm ? (cond ? bi->x : bi->y) : f->regs[pickReg];
+            const uint8_t sh =
+                (mShadow<M>() && !pickImm) ? f->rsh[pickReg] : 0;
+            const uint64_t pr =
+                (mGround<M>() && !pickImm) ? f->prov[pickReg] : 0;
+            f->regs[bi->dst] =
+                canonFast(v, bi->bits, bi->flags & bc::kOpSigned);
+            if (mShadow<M>())
+                f->rsh[bi->dst] = static_cast<uint8_t>(sh | cSh);
+            if (mGround<M>())
+                f->prov[bi->dst] = bi->dst ? pr : 0;
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(BinRR) : {
+            fastBin<M, false, false>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+        VM_CASE(BinRI) : {
+            fastBin<M, false, true>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+        VM_CASE(BinIR) : {
+            fastBin<M, true, false>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+        VM_CASE(BinII) : {
+            fastBin<M, true, true>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(FrameAddr) : {
+            const uint64_t id = f->objIds[bi->t0];
+            f->regs[bi->dst] = objects_[id - 1].base;
+            if (mShadow<M>())
+                f->rsh[bi->dst] = 0;
+            if (mGround<M>())
+                f->prov[bi->dst] = bi->dst ? id : 0;
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(GlobalAddr) : {
+            f->regs[bi->dst] = globalAddrs_[bi->t0];
+            if (mShadow<M>())
+                f->rsh[bi->dst] = 0;
+            if (mGround<M>())
+                f->prov[bi->dst] = bi->dst ? globalObjIds_[bi->t0] : 0;
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(GepRR) : {
+            fastGep<M, false, false>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+        VM_CASE(GepRI) : {
+            fastGep<M, false, true>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+        VM_CASE(GepIR) : {
+            fastGep<M, true, false>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+        VM_CASE(GepII) : {
+            fastGep<M, true, true>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(LoadR) : {
+            fastLoad<M, false>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+        VM_CASE(LoadI) : {
+            fastLoad<M, true>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(StoreRR) : {
+            fastStore<M, false, false>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+        VM_CASE(StoreRI) : {
+            fastStore<M, false, true>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+        VM_CASE(StoreIR) : {
+            fastStore<M, true, false>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+        VM_CASE(StoreII) : {
+            fastStore<M, true, true>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(MemCopy) : {
+            fastMemCopy<M>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(Br) : { pc = bi->t0; }
+        VM_NEXT();
+
+        VM_CASE(CondBrR) : {
+            if (mGround<M>() && f->rsh[bi->a]) {
+                report(ReportKind::UninitValue, locs[pc]);
+                VM_NEXT();
+            }
+            pc = f->regs[bi->a] != 0 ? bi->t0 : bi->t1;
+        }
+        VM_NEXT();
+
+        VM_CASE(CondBrI) : { pc = bi->x != 0 ? bi->t0 : bi->t1; }
+        VM_NEXT();
+
+        VM_CASE(RetVoid) : {
+            pc = bcPopFrame<M>(0, 0, 0);
+            if (bframeTop_)
+                f = &bframes_[bframeTop_ - 1];
+        }
+        VM_NEXT();
+
+        VM_CASE(RetR) : {
+            const uint64_t rv = f->regs[bi->a];
+            const uint8_t sh = mShadow<M>() ? f->rsh[bi->a] : 0;
+            const uint64_t pr = mGround<M>() ? f->prov[bi->a] : 0;
+            pc = bcPopFrame<M>(rv, sh, pr);
+            if (bframeTop_)
+                f = &bframes_[bframeTop_ - 1];
+        }
+        VM_NEXT();
+
+        VM_CASE(RetI) : {
+            pc = bcPopFrame<M>(bi->x, 0, 0);
+            if (bframeTop_)
+                f = &bframes_[bframeTop_ - 1];
+        }
+        VM_NEXT();
+
+        VM_CASE(Call) : {
+            const uint32_t n = bi->t1;
+            scratchArgs_.clear();
+            scratchSh_.clear();
+            scratchProv_.clear();
+            const bc::BArg *args = bp_->argPool.data() + bi->t0;
+            for (uint32_t i = 0; i < n; i++) {
+                const bc::BArg &arg = args[i];
+                if (arg.isImm) {
+                    scratchArgs_.push_back(arg.imm);
+                    scratchSh_.push_back(0);
+                    scratchProv_.push_back(0);
+                } else {
+                    scratchArgs_.push_back(f->regs[arg.reg]);
+                    scratchSh_.push_back(mShadow<M>() ? f->rsh[arg.reg]
+                                                      : 0);
+                    scratchProv_.push_back(
+                        mGround<M>() ? f->prov[arg.reg] : 0);
+                }
+            }
+            if (bcPushFrame<M>(bi->a, n, bi->dst, bi->kind, pc + 1,
+                               curLocPc)) {
+                f = &bframes_[bframeTop_ - 1];
+                pc = bp_->functions[bi->a].entryPc;
+            }
+        }
+        VM_NEXT();
+
+        VM_CASE(Malloc) : {
+            const uint64_t size = std::max<uint64_t>(VM_A(), 1);
+            const uint32_t rz = bp_->asanHeap ? kHeapRedzone : 0;
+            uint64_t off = heap_.mem.size();
+            off = (off + 15) / 16 * 16;
+            const uint64_t total = rz + size + rz;
+            if (off + total > kHeapCapacity) {
+                trap(TrapKind::OutOfMemory, locs[pc]);
+                VM_NEXT();
+            }
+            heap_.grow(off + total);
+            const uint64_t base = kHeapBase + off + rz;
+            const uint64_t id =
+                registerObject(base, size, ObjectKind::Heap, 0);
+            if (mShadow<M>())
+                setMsanShadow(base, size, 1);
+            if (rz) {
+                setPoison(base - rz, rz, kPoisonHeapRz);
+                setPoison(base + size, rz, kPoisonHeapRz);
+            }
+            if (mProfile<M>()) {
+                opts_.profile->heapAllocs.push_back(
+                    {id, base, size, ++opts_.profile->eventSeq, 0});
+            }
+            f->regs[bi->dst] = base;
+            if (mShadow<M>())
+                f->rsh[bi->dst] = 0;
+            if (mGround<M>())
+                f->prov[bi->dst] = bi->dst ? id : 0;
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(Free) : {
+            const uint64_t addr = VM_A();
+            if (addr == 0) { // free(NULL) is a no-op
+                pc++;
+                VM_NEXT();
+            }
+            auto it = byBase_.find(addr);
+            Object *obj =
+                it == byBase_.end() ? nullptr : objectById(it->second);
+            if (!obj || obj->kind != ObjectKind::Heap ||
+                obj->state != ObjectState::Live) {
+                trap(TrapKind::InvalidFree, locs[pc]);
+                VM_NEXT();
+            }
+            obj->state = ObjectState::Freed;
+            if (bp_->asanHeap)
+                setPoison(obj->base, obj->size, kPoisonFreed);
+            if (mProfile<M>()) {
+                for (auto &rec : opts_.profile->heapAllocs) {
+                    if (rec.objectId == obj->id && rec.freeSeq == 0)
+                        rec.freeSeq = ++opts_.profile->eventSeq;
+                }
+            }
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(ChecksumR) : {
+            const uint64_t v = f->regs[bi->a];
+            if (mGround<M>() && f->rsh[bi->a]) {
+                report(ReportKind::UninitValue, locs[pc]);
+                VM_NEXT();
+            }
+            result_.checksum = (result_.checksum ^ v) * 0x100000001b3ULL;
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(ChecksumI) : {
+            result_.checksum =
+                (result_.checksum ^ bi->x) * 0x100000001b3ULL;
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(LogVal) : {
+            if (mProfile<M>()) {
+                opts_.profile->values[VM_A()].push_back(
+                    static_cast<int64_t>(VM_B()));
+            }
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(LogPtr) : {
+            if (mProfile<M>()) {
+                PtrRecord rec;
+                rec.address = VM_B();
+                if (Object *obj = resolveObject(rec.address)) {
+                    if (rec.address < obj->base + obj->size) {
+                        rec.objectId = obj->id;
+                        rec.objectBase = obj->base;
+                        rec.objectSize = obj->size;
+                        rec.objectKind = obj->kind;
+                        rec.objectState = obj->state;
+                    }
+                }
+                opts_.profile->pointers[VM_A()].push_back(rec);
+            }
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(LogBuf) : {
+            if (mProfile<M>()) {
+                BufRecord rec;
+                rec.address = VM_B();
+                rec.size = VM_C();
+                if (Object *obj = resolveObject(rec.address)) {
+                    rec.objectId = obj->id;
+                    rec.objectKind = obj->kind;
+                }
+                opts_.profile->buffers[VM_A()].push_back(rec);
+            }
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(LogScopeEnter) : {
+            if (mProfile<M>()) {
+                opts_.profile->scopes.push_back(
+                    {VM_A(), true, ++opts_.profile->eventSeq});
+            }
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(LogScopeExit) : {
+            if (mProfile<M>()) {
+                opts_.profile->scopes.push_back(
+                    {VM_A(), false, ++opts_.profile->eventSeq});
+            }
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(LifetimeStart) : {
+            Object &obj = objects_[f->objIds[bi->t0] - 1];
+            obj.state = ObjectState::Live;
+            setPoison(obj.base, obj.size, kPoisonNone);
+            if (mShadow<M>())
+                setMsanShadow(obj.base, obj.size, 1);
+            std::memset(stack_.mem.data() + (obj.base - stack_.base),
+                        kFillByte, obj.size);
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(LifetimeEnd) : {
+            Object &obj = objects_[f->objIds[bi->t0] - 1];
+            obj.state = ObjectState::ScopeEnded;
+            if (bp_->functions[f->fnIdx].frame[bi->t0].redzone)
+                setPoison(obj.base, obj.size, kPoisonScope);
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(AsanCheck) : {
+            const uint64_t addr = VM_A();
+            const uint64_t size = bi->imm;
+            Segment *seg = segmentFor(addr, size);
+            if (seg) {
+                ReportKind kind = ReportKind::None;
+                for (uint64_t i = 0; i < size; i++) {
+                    uint8_t codeByte = seg->poison[addr - seg->base + i];
+                    if (codeByte == kPoisonNone)
+                        continue;
+                    switch (codeByte) {
+                      case kPoisonStackRz:
+                        kind = ReportKind::StackBufferOverflow;
+                        break;
+                      case kPoisonGlobalRz:
+                        kind = ReportKind::GlobalBufferOverflow;
+                        break;
+                      case kPoisonHeapRz:
+                        kind = ReportKind::HeapBufferOverflow;
+                        break;
+                      case kPoisonFreed:
+                        kind = ReportKind::HeapUseAfterFree;
+                        break;
+                      default:
+                        kind = ReportKind::StackUseAfterScope;
+                        break;
+                    }
+                    break;
+                }
+                if (kind != ReportKind::None) {
+                    report(kind, locs[pc]);
+                    VM_NEXT();
+                }
+            }
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(UbsanArith) : {
+            if (!(bi->flags & bc::kOpSigned)) {
+                pc++;
+                VM_NEXT();
+            }
+            const int bits = bi->bits;
+            __int128 a = static_cast<int64_t>(
+                canonFast(VM_A(), bits, true));
+            __int128 b = static_cast<int64_t>(
+                canonFast(VM_B(), bits, true));
+            __int128 r = bi->binOp == ir::BinOp::Add   ? a + b
+                         : bi->binOp == ir::BinOp::Sub ? a - b
+                                                       : a * b;
+            __int128 lo = -(static_cast<__int128>(1) << (bits - 1));
+            __int128 hi = (static_cast<__int128>(1) << (bits - 1)) - 1;
+            if (r < lo || r > hi) {
+                report(ReportKind::SignedIntegerOverflow, locs[pc]);
+                VM_NEXT();
+            }
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(UbsanShift) : {
+            const int64_t count = static_cast<int64_t>(VM_B());
+            // flag = "negative counts only" (an injected check bug).
+            const bool bad =
+                (bi->flags & bc::kOpIrFlag)
+                    ? count < 0
+                    : (count < 0 ||
+                       count >= static_cast<int64_t>(bi->bits));
+            if (bad) {
+                report(ReportKind::ShiftOutOfBounds, locs[pc]);
+                VM_NEXT();
+            }
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(UbsanDiv) : {
+            const bool sgn = bi->flags & bc::kOpSigned;
+            const uint64_t b = VM_B();
+            if (canonFast(b, bi->bits, sgn) == 0) {
+                report(ReportKind::DivByZero, locs[pc]);
+                VM_NEXT();
+            }
+            if (sgn) {
+                const int bits = bi->bits;
+                const int64_t minv =
+                    bits >= 64 ? INT64_MIN : -(1LL << (bits - 1));
+                if (static_cast<int64_t>(VM_A()) == minv &&
+                    static_cast<int64_t>(canonFast(b, bits, sgn)) ==
+                        -1) {
+                    report(ReportKind::SignedIntegerOverflow, locs[pc]);
+                    VM_NEXT();
+                }
+            }
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(UbsanNull) : {
+            if (VM_A() == 0) {
+                report(ReportKind::NullDeref, locs[pc]);
+                VM_NEXT();
+            }
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(UbsanBounds) : {
+            const int64_t idx = static_cast<int64_t>(VM_A());
+            if (idx < 0 || static_cast<uint64_t>(idx) >= bi->imm) {
+                report(ReportKind::ArrayIndexOOB, locs[pc]);
+                VM_NEXT();
+            }
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(MsanCheck) : {
+            const uint8_t sh =
+                (mShadow<M>() && !(bi->flags & bc::kOpAImm))
+                    ? f->rsh[bi->a]
+                    : 0;
+            if (bp_->msan.enabled && sh) {
+                report(ReportKind::UninitValue, locs[pc]);
+                VM_NEXT();
+            }
+            pc++;
+        }
+        VM_NEXT();
+
+#if UBFUZZ_CGOTO
+    vm_dispatch:
+        if (done_)
+            goto vm_out;
+        if (steps >= limit) {
+            result_.kind = ExecResult::Kind::Timeout;
+            goto vm_out;
+        }
+        bi = &code[pc];
+        steps++;
+        if (bi->flags & bc::kOpLocValid)
+            curLocPc = pc;
+        if (mTrace<M>())
+            recordTrace(locs[pc]);
+        goto *tbl[static_cast<size_t>(bi->op)];
+    vm_out:;
+#else
+            }
+        }
+#endif
+        result_.steps = steps;
+
+#undef VM_CASE
+#undef VM_NEXT
+#undef VM_A
+#undef VM_B
+#undef VM_C
+    }
+
+    /** The module of the current reference run; bound by
+     *  runReference(). */
     const ir::Module *m_ = nullptr;
+    /** The translation of the current bytecode run. */
+    const bc::Program *bp_ = nullptr;
+    /** The translation cache: shared (campaign unit) or private. */
+    CodeCache *cache_ = nullptr;
+    CodeCache ownCache_;
+    /** Bytecode frame pool; live frames are [0, bframeTop_). */
+    std::vector<BFrame> bframes_;
+    size_t bframeTop_ = 0;
+    /** Call-argument marshaling scratch (reused across calls). */
+    std::vector<uint64_t> scratchArgs_;
+    std::vector<uint8_t> scratchSh_;
+    std::vector<uint64_t> scratchProv_;
     ExecOptions opts_;
     Segment globals_, stack_, heap_;
     std::vector<Object> objects_;
@@ -1280,15 +2432,24 @@ struct Machine::Impl
     ExecStats stats_;
 };
 
-Machine::Machine() : impl_(std::make_unique<Impl>()) {}
+Machine::Machine(CodeCache *cache) : impl_(std::make_unique<Impl>(cache))
+{
+}
 Machine::~Machine() = default;
 Machine::Machine(Machine &&) noexcept = default;
 Machine &Machine::operator=(Machine &&) noexcept = default;
 
 ExecResult
-Machine::run(const ir::Module &module, const ExecOptions &opts)
+Machine::run(const ir::Module &module, const ExecOptions &opts,
+             const ir::BinaryKey *key)
 {
-    return impl_->run(module, opts);
+    return impl_->run(module, opts, key);
+}
+
+ExecResult
+Machine::runReference(const ir::Module &module, const ExecOptions &opts)
+{
+    return impl_->runReference(module, opts);
 }
 
 void

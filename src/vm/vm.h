@@ -135,6 +135,16 @@ struct ExecStats
     /** Executions actually interpreted by a machine. */
     size_t executions = 0;
     /**
+     * Modules flattened into bytecode (CodeCache misses). Every
+     * execution resolves through the cache exactly once, so the
+     * translate-once invariant is `executions == translations +
+     * translationHits` — CI asserts it campaign-wide.
+     */
+    size_t translations = 0;
+    /** Executions served by an already-flattened translation (the
+     *  debugger re-execution of a silent binary is the common hit). */
+    size_t translationHits = 0;
+    /**
      * Executions skipped because a byte-identical binary (equal
      * ir::executionKey) already ran in the same batch; its result was
      * copied instead.
@@ -153,6 +163,8 @@ struct ExecStats
         machinesBuilt += o.machinesBuilt;
         resets += o.resets;
         executions += o.executions;
+        translations += o.translations;
+        translationHits += o.translationHits;
         dedupSkips += o.dedupSkips;
         corpusSkips += o.corpusSkips;
     }
@@ -175,11 +187,24 @@ struct ExecStats
  * `vm::execute(mod, opts)` for every preceding sequence of runs on
  * `m`, across all result fields (exit code, checksum, report, trap,
  * steps, trace). test_vm's MachineReuse suite enforces this.
+ *
+ * Execution goes through flattened bytecode (vm/bytecode.h): run()
+ * resolves the module to a translation — via the CodeCache passed at
+ * construction, or a machine-private one — and interprets it with a
+ * dispatch loop specialized for the run's mode (silent / MSan-shadow /
+ * ground-truth), falling back to a generic loop when tracing or
+ * profiling. runReference() keeps the original struct-walking
+ * interpreter alive as the semantic baseline: the test_bytecode parity
+ * suite and bench_exec's ns/step microbenchmark compare against it.
  */
+class CodeCache;
+
 class Machine
 {
   public:
-    Machine();
+    /** @p cache, when given, must outlive the machine; machines of one
+     *  campaign unit share it. Defaults to a machine-private cache. */
+    explicit Machine(CodeCache *cache = nullptr);
     ~Machine();
     Machine(Machine &&) noexcept;
     Machine &operator=(Machine &&) noexcept;
@@ -187,8 +212,17 @@ class Machine
     Machine &operator=(const Machine &) = delete;
 
     /** Execute @p module from its main function. Resets first when a
-     *  previous run left state behind. */
-    ExecResult run(const ir::Module &module, const ExecOptions &opts = {});
+     *  previous run left state behind. @p key, when given, must equal
+     *  ir::binaryKey(module) — batch runners pass the key they already
+     *  computed for execution dedup instead of re-serializing. */
+    ExecResult run(const ir::Module &module, const ExecOptions &opts = {},
+                   const ir::BinaryKey *key = nullptr);
+
+    /** Execute through the reference struct-walking interpreter
+     *  (bit-identical by definition; kept for parity tests and the
+     *  dispatch microbenchmark, not a hot path). */
+    ExecResult runReference(const ir::Module &module,
+                            const ExecOptions &opts = {});
 
     /** Re-arm explicitly (run() does this on demand); idempotent. */
     void reset();

@@ -219,6 +219,50 @@ TEST(Campaign, MusicMostlyGeneratesNoUB)
     CampaignStats stats = runCampaign(cfg);
     // The overwhelming majority of mutants has no UB (Table 4: ~95%).
     EXPECT_GT(stats.noUB, stats.ubPrograms);
+    // Music rides the seed-level lowering cache like UBFuzz: one full
+    // lowering per seed base plus counted fallbacks; every mutant
+    // classified (whether UB or not) lowered incrementally.
+    EXPECT_EQ(stats.compile.lowerings,
+              stats.seeds + stats.compile.deltaFallbacks);
+    EXPECT_GT(stats.compile.deltaLowerings, 0u);
+    EXPECT_EQ(stats.compile.deltaLowerings + stats.compile.deltaFallbacks,
+              stats.noUB + stats.ubPrograms);
+}
+
+TEST(Music, IncrementalLoweringMatchesScratchForMutants)
+{
+    // The PR 4 follow-up made concrete: a MUSIC mutant perturbs one
+    // function of a node-id-preserving clone, so lowering it through
+    // the seed cache with musicMutate's perturbed-function handle must
+    // be indistinguishable from a scratch lowering.
+    size_t checked = 0;
+    compiler::CompileStats stats;
+    for (uint64_t s = 1; s <= 6; s++) {
+        gen::GeneratorConfig gc;
+        gc.seed = s;
+        gc.safeMath = true;
+        auto seed = gen::generateProgram(gc);
+        compiler::SeedLoweringCache cache(*seed, &stats);
+        Rng rng(s * 17);
+        for (int m = 0; m < 8; m++) {
+            uint32_t fnId = 0;
+            auto mutant = mutation::musicMutate(*seed, rng, &fnId);
+            if (!mutant)
+                continue;
+            EXPECT_NE(fnId, 0u);
+            ast::PrintedProgram printed = ast::printProgram(*mutant);
+            ir::Module inc =
+                cache.lowerDerived(*mutant, printed, fnId, &stats);
+            ir::Module scratch = ir::lowerProgram(*mutant, printed.map);
+            ASSERT_EQ(ir::executionKey(inc), ir::executionKey(scratch))
+                << "seed " << s << " mutant " << m;
+            checked++;
+        }
+    }
+    EXPECT_GT(checked, 30u);
+    // Mutants overwhelmingly take the incremental path (deletions,
+    // operator flips, and constant tweaks are all single-function).
+    EXPECT_GT(stats.deltaLowerings, stats.deltaFallbacks);
 }
 
 TEST(Campaign, CsmithNoSafeCoversOnlyArithmeticKinds)

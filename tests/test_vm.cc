@@ -530,6 +530,10 @@ TEST(MachineReuse, InterleavedModulesStayIndependent)
     EXPECT_EQ(m.stats().machinesBuilt, 1u);
     EXPECT_EQ(m.stats().executions, 4u);
     EXPECT_EQ(m.stats().resets, 3u);
+    // Interleaving does not thrash the code cache: each distinct
+    // binary is flattened once, the re-runs hit.
+    EXPECT_EQ(m.stats().translations, 2u);
+    EXPECT_EQ(m.stats().translationHits, 2u);
 }
 
 TEST(MachineReuse, OptionsChangeBetweenRuns)
@@ -567,6 +571,27 @@ TEST(MachineReuse, StatsCountWork)
     EXPECT_EQ(m.stats().executions, 2u);
     EXPECT_EQ(m.stats().resets, 1u);
     EXPECT_EQ(m.stats().dedupSkips, 1u);
+    EXPECT_EQ(m.stats().translations, 1u);
+    EXPECT_EQ(m.stats().translationHits, 1u);
+}
+
+TEST(MachineReuse, ReferenceInterpreterAgreesAfterBytecodeRuns)
+{
+    // The two interpreters share the machine's arenas; alternating
+    // between them must not perturb either (reset restores the same
+    // construction-time state for both).
+    ir::Module mod = lowerSource(R"(int main(void) {
+    int a[4];
+    int i = 4;
+    a[0] = 1;
+    return a[i] * 0;
+}
+)");
+    vm::Machine m;
+    vm::ExecResult fast = m.run(mod);
+    vm::ExecResult ref = m.runReference(mod);
+    expectSameResult(fast, ref);
+    expectSameResult(fast, m.run(mod));
 }
 
 //===--------------------------------------------------------------===//
