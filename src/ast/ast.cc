@@ -1,5 +1,7 @@
 #include "ast/ast.h"
 
+#include <algorithm>
+
 namespace ubfuzz::ast {
 
 const char *
@@ -131,29 +133,219 @@ assignOpBinary(AssignOp op)
     }
 }
 
-void
-StructDecl::addField(FieldDecl *f)
+//===------------------------------------------------------------------===//
+// Node constructors needing complete types or the context pools
+//===------------------------------------------------------------------===//
+
+Call::Call(ASTContext *ctx, uint32_t id, FunctionDecl *callee,
+           const std::vector<Expr *> &args, const Type *type)
+    : Expr(ctx, NodeKind::Call, id, type), callee_(refOf(callee))
 {
-    uint64_t falign = f->type()->align();
-    uint64_t off = (size_ + falign - 1) / falign * falign;
-    f->setOffset(off);
-    size_ = off + f->type()->size();
-    align_ = std::max(align_, falign);
-    // Pad the struct size up to its alignment, as C does.
-    size_ = (size_ + align_ - 1) / align_ * align_;
-    fields_.push_back(f);
+    std::vector<NodeIndex> idxs;
+    idxs.reserve(args.size());
+    for (Expr *a : args)
+        idxs.push_back(refOf(a));
+    args_ = ctx->listMake(idxs.data(), static_cast<uint32_t>(idxs.size()));
+}
+
+InitList::InitList(ASTContext *ctx, uint32_t id,
+                   const std::vector<Expr *> &elems, const Type *type)
+    : Expr(ctx, NodeKind::InitList, id, type)
+{
+    std::vector<NodeIndex> idxs;
+    idxs.reserve(elems.size());
+    for (Expr *e : elems)
+        idxs.push_back(refOf(e));
+    elems_ = ctx->listMake(idxs.data(), static_cast<uint32_t>(idxs.size()));
+}
+
+IfStmt::IfStmt(ASTContext *ctx, uint32_t id, Expr *cond, Block *thenBlock,
+               Block *elseBlock)
+    : Stmt(ctx, NodeKind::IfStmt, id), cond_(refOf(cond)),
+      then_(refOf(thenBlock)), else_(refOf(elseBlock))
+{}
+
+ForStmt::ForStmt(ASTContext *ctx, uint32_t id, Stmt *init, Expr *cond,
+                 Stmt *step, Block *body)
+    : Stmt(ctx, NodeKind::ForStmt, id), init_(refOf(init)),
+      cond_(refOf(cond)), step_(refOf(step)), body_(refOf(body))
+{}
+
+WhileStmt::WhileStmt(ASTContext *ctx, uint32_t id, Expr *cond, Block *body)
+    : Stmt(ctx, NodeKind::WhileStmt, id), cond_(refOf(cond)),
+      body_(refOf(body))
+{}
+
+VarDecl::VarDecl(ASTContext *ctx, uint32_t id, std::string_view name,
+                 const Type *type, Storage storage, Expr *init)
+    : Node(ctx, NodeKind::VarDecl, id), type_(TypeTable::refOf(type)),
+      storage_(storage), init_(refOf(init))
+{
+    ctx->internString(name, nameOff_, nameLen_);
+}
+
+FieldDecl::FieldDecl(ASTContext *ctx, uint32_t id, std::string_view name,
+                     const Type *type)
+    : Node(ctx, NodeKind::FieldDecl, id), type_(TypeTable::refOf(type))
+{
+    ctx->internString(name, nameOff_, nameLen_);
+}
+
+StructDecl::StructDecl(ASTContext *ctx, uint32_t id, std::string_view name)
+    : Node(ctx, NodeKind::StructDecl, id)
+{
+    ctx->internString(name, nameOff_, nameLen_);
+}
+
+FunctionDecl::FunctionDecl(ASTContext *ctx, uint32_t id,
+                           std::string_view name, const Type *retType)
+    : Node(ctx, NodeKind::FunctionDecl, id),
+      retType_(TypeTable::refOf(retType))
+{
+    ctx->internString(name, nameOff_, nameLen_);
 }
 
 const FieldDecl *
-StructDecl::findField(const std::string &name) const
+StructDecl::findField(std::string_view name) const
 {
-    for (const FieldDecl *f : fields_)
+    for (const FieldDecl *f : fields())
         if (f->name() == name)
             return f;
     return nullptr;
 }
 
-Program::Program() = default;
+//===------------------------------------------------------------------===//
+// ASTContext
+//===------------------------------------------------------------------===//
+
+ASTContext::~ASTContext()
+{
+    // Slots are trivially destructible by construction (static_assert
+    // in construct<T>), so chunks are plain byte arrays.
+    for (char *c : chunks_)
+        delete[] c;
+}
+
+void
+ASTContext::registerId(uint32_t id, NodeIndex idx)
+{
+    if (id >= idToIndex_.size())
+        idToIndex_.resize(id + 1, kNullNode);
+    UBF_ASSERT(idToIndex_[id] == kNullNode, "duplicate nodeId ", id);
+    idToIndex_[id] = idx;
+}
+
+uint64_t
+ASTContext::hashNodeRange(NodeIndex begin, NodeIndex end) const
+{
+    UBF_ASSERT(begin <= end && end <= numNodes_, "bad hash range");
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](const char *p, size_t n) {
+        for (size_t i = 0; i < n; i++) {
+            h ^= static_cast<unsigned char>(p[i]);
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (NodeIndex i = begin; i < end; i++) {
+        const char *p = slot(i);
+        mix(p, kCtxByte);
+        mix(p + kCtxByteEnd, kSlotBytes - kCtxByteEnd);
+    }
+    return h;
+}
+
+void
+ASTContext::copyFrom(const ASTContext &src)
+{
+    UBF_ASSERT(numNodes_ == 0 && pool_.empty() && strings_.empty(),
+               "copyFrom target must be fresh");
+    chunks_.reserve(src.chunks_.size());
+    NodeIndex remaining = src.numNodes_;
+    for (char *srcChunk : src.chunks_) {
+        char *p = new char[static_cast<size_t>(kSlotBytes) * kChunkSlots];
+        uint32_t used = std::min<uint32_t>(remaining, kChunkSlots);
+        std::memcpy(p, srcChunk, static_cast<size_t>(used) * kSlotBytes);
+        chunks_.push_back(p);
+        remaining -= used;
+    }
+    numNodes_ = src.numNodes_;
+    // The one per-slot fixup: each node's back-pointer to its context.
+    for (NodeIndex i = 0; i < numNodes_; i++)
+        reinterpret_cast<Node *>(slot(i))->ctx_ = this;
+    pool_ = src.pool_;
+    strings_ = src.strings_;
+    idToIndex_ = src.idToIndex_;
+    nextId_ = src.nextId_;
+    types_.copyFrom(src.types_);
+}
+
+ListRange
+ASTContext::listMake(const NodeIndex *data, uint32_t n)
+{
+    ListRange r;
+    r.off = static_cast<uint32_t>(pool_.size());
+    r.len = n;
+    r.cap = n;
+    pool_.insert(pool_.end(), data, data + n);
+    return r;
+}
+
+void
+ASTContext::listRelocate(ListRange &r, uint32_t minCap)
+{
+    uint32_t newCap = r.cap ? r.cap * 2 : 2;
+    while (newCap < minCap)
+        newCap *= 2;
+    uint32_t newOff = static_cast<uint32_t>(pool_.size());
+    pool_.resize(pool_.size() + newCap);
+    // Regions are exclusive and the new one sits past the old, so a
+    // plain copy within the (already resized) pool is safe.
+    std::copy_n(pool_.begin() + r.off, r.len, pool_.begin() + newOff);
+    r.off = newOff;
+    r.cap = newCap;
+}
+
+void
+ASTContext::listAppend(ListRange &r, NodeIndex v)
+{
+    if (r.len == r.cap)
+        listRelocate(r, r.len + 1);
+    pool_[r.off + r.len] = v;
+    r.len++;
+}
+
+void
+ASTContext::listInsert(ListRange &r, uint32_t pos, NodeIndex v)
+{
+    UBF_ASSERT(pos <= r.len, "list insert out of range");
+    if (r.len == r.cap)
+        listRelocate(r, r.len + 1);
+    for (uint32_t i = r.len; i > pos; i--)
+        pool_[r.off + i] = pool_[r.off + i - 1];
+    pool_[r.off + pos] = v;
+    r.len++;
+}
+
+void
+ASTContext::listErase(ListRange &r, uint32_t pos)
+{
+    UBF_ASSERT(pos < r.len, "list erase out of range");
+    for (uint32_t i = pos; i + 1 < r.len; i++)
+        pool_[r.off + i] = pool_[r.off + i + 1];
+    r.len--;
+}
+
+void
+ASTContext::internString(std::string_view s, uint32_t &off, uint32_t &len)
+{
+    off = static_cast<uint32_t>(strings_.size());
+    len = static_cast<uint32_t>(s.size());
+    strings_.insert(strings_.end(), s.begin(), s.end());
+}
+
+//===------------------------------------------------------------------===//
+// Program
+//===------------------------------------------------------------------===//
 
 FunctionDecl *
 Program::findFunction(const std::string &name) const

@@ -1,10 +1,20 @@
 #include "ast/clone.h"
 
+#include <atomic>
+#include <unordered_map>
+#include <vector>
+
 namespace ubfuzz::ast {
 
 namespace {
 
-/** Stateful cloner: maps decls and types from source to destination. */
+std::atomic<uint64_t> cloneCalls{0};
+
+/**
+ * Stateful node-by-node cloner: maps decls and types from source to
+ * destination. This is the pre-arena algorithm, kept verbatim as the
+ * baseline the memcpy clone is benchmarked against.
+ */
 class Cloner
 {
   public:
@@ -15,6 +25,11 @@ class Cloner
     ClonedProgram
     run()
     {
+        // Builtins referenced by calls are created lazily in the
+        // destination with *fresh* ids; start the fresh-id counter
+        // past every source id so they never collide with a replayed
+        // nodeId (the arena context panics on duplicates).
+        dst_->ctx().reserveIds(src_.ctx().peekNextId());
         // Structs first: types may reference them.
         for (const StructDecl *s : src_.structs()) {
             auto *ns = makeNode<StructDecl>(s, s->name());
@@ -68,7 +83,6 @@ class Cloner
 
         ClonedProgram result;
         result.program = std::move(dst_);
-        result.byId = std::move(byId_);
         return result;
     }
 
@@ -77,10 +91,8 @@ class Cloner
     T *
     makeNode(const Node *orig, Args &&...args)
     {
-        T *n = dst_->ctx().makeWithId<T>(orig->nodeId(),
+        return dst_->ctx().makeWithId<T>(orig->nodeId(),
                                          std::forward<Args>(args)...);
-        byId_[orig->nodeId()] = n;
-        return n;
     }
 
     const Type *
@@ -252,7 +264,6 @@ class Cloner
 
     const Program &src_;
     std::unique_ptr<Program> dst_;
-    std::unordered_map<uint32_t, Node *> byId_;
     std::unordered_map<const StructDecl *, StructDecl *> structMap_;
     std::unordered_map<const FieldDecl *, FieldDecl *> fieldMap_;
     std::unordered_map<const VarDecl *, VarDecl *> varMap_;
@@ -264,7 +275,50 @@ class Cloner
 ClonedProgram
 cloneProgram(const Program &src)
 {
+    cloneCalls.fetch_add(1, std::memory_order_relaxed);
+
+    ClonedProgram result;
+    result.program = std::make_unique<Program>();
+    Program &dst = *result.program;
+    const ASTContext &sctx = src.ctx();
+    ASTContext &dctx = dst.ctx();
+
+    // One memcpy per arena chunk plus a context-pointer patch; every
+    // node id, child index, list range, and TypeRef carries over.
+    dctx.copyFrom(sctx);
+
+    // Re-root the program-level vectors at the copied slots.
+    auto map = [&dctx](const Node *n) {
+        return dctx.nodeAt(n->arenaIndex());
+    };
+    dst.structs_.reserve(src.structs_.size());
+    for (const StructDecl *s : src.structs_)
+        dst.structs_.push_back(map(s)->as<StructDecl>());
+    dst.globals_.reserve(src.globals_.size());
+    for (const VarDecl *g : src.globals_)
+        dst.globals_.push_back(map(g)->as<VarDecl>());
+    dst.functions_.reserve(src.functions_.size());
+    for (const FunctionDecl *f : src.functions_)
+        dst.functions_.push_back(map(f)->as<FunctionDecl>());
+    dst.builtins_.reserve(src.builtins_.size());
+    for (const FunctionDecl *f : src.builtins_)
+        dst.builtins_.push_back(map(f)->as<FunctionDecl>());
+    if (src.main_)
+        dst.main_ = map(src.main_)->as<FunctionDecl>();
+
+    return result;
+}
+
+ClonedProgram
+cloneProgramByRebuild(const Program &src)
+{
     return Cloner(src).run();
+}
+
+uint64_t
+cloneProgramCallCount()
+{
+    return cloneCalls.load(std::memory_order_relaxed);
 }
 
 Expr *

@@ -6,30 +6,35 @@
  * seed and mutating the clone. Node ids are preserved across the clone so
  * that anything recorded against the seed (matched expression ids,
  * profiling site ids, insertion points) can be located in the clone.
+ *
+ * With the arena representation a clone is a chunk memcpy plus a
+ * context-pointer patch: node ids, arena indices, child indices, and
+ * TypeRefs all carry over verbatim, so no per-node rebuild and no
+ * id-map reconstruction happen. The old node-by-node rebuild survives
+ * as cloneProgramByRebuild, kept as the bench_clone baseline.
  */
 
 #ifndef UBFUZZ_AST_CLONE_H
 #define UBFUZZ_AST_CLONE_H
 
+#include <cstdint>
 #include <memory>
-#include <unordered_map>
 
 #include "ast/ast.h"
 
 namespace ubfuzz::ast {
 
-/** A cloned program plus an id -> node index for the clone. */
+/** A cloned program; node lookups go through the context's dense
+ *  id -> arena-index vector (rebuilding a map per clone is gone). */
 struct ClonedProgram
 {
     std::unique_ptr<Program> program;
-    std::unordered_map<uint32_t, Node *> byId;
 
     /** Find a cloned node by the (preserved) node id; null if absent. */
     Node *
     find(uint32_t nodeId) const
     {
-        auto it = byId.find(nodeId);
-        return it == byId.end() ? nullptr : it->second;
+        return program->ctx().nodeById(nodeId);
     }
 
     template <typename T>
@@ -42,8 +47,19 @@ struct ClonedProgram
     }
 };
 
-/** Deep-clone @p src, preserving node ids. */
+/** Deep-clone @p src, preserving node ids (arena memcpy + patch). */
 ClonedProgram cloneProgram(const Program &src);
+
+/**
+ * Deep-clone @p src by re-making every node (the pre-arena algorithm).
+ * Exists as the baseline bench_clone measures cloneProgram against;
+ * node ids are preserved, arena layout may differ.
+ */
+ClonedProgram cloneProgramByRebuild(const Program &src);
+
+/** Number of cloneProgram calls so far in this process (monotonic).
+ *  Lets callers assert how many clones an operation performed. */
+uint64_t cloneProgramCallCount();
 
 /**
  * Structurally copy an expression *within the same program*: the copy

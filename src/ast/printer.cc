@@ -214,7 +214,7 @@ class Printer
     printVarDecl(const VarDecl *v)
     {
         record(v);
-        emit(v->type()->cName(v->name()));
+        emit(v->type()->cName(std::string(v->name())));
         if (v->init()) {
             emit(" = ");
             printExpr(v->init());
@@ -244,7 +244,7 @@ class Printer
         for (const FieldDecl *f : s->fields()) {
             emit("    ");
             record(f);
-            emit(f->type()->cName(f->name()));
+            emit(f->type()->cName(std::string(f->name())));
             emit(";");
             newline();
         }
@@ -277,7 +277,7 @@ class Printer
                     emit(", ");
                 first = false;
                 record(p);
-                emit(p->type()->cName(p->name()));
+                emit(p->type()->cName(std::string(p->name())));
             }
         }
         emit(") ");

@@ -53,14 +53,22 @@ scalarName(ScalarKind k)
     return "?";
 }
 
+const StructDecl *
+Type::structDecl() const
+{
+    if (structNode_ == 0xFFFFFFFFu)
+        return nullptr;
+    return table_->ctx_->nodeAt(structNode_)->as<StructDecl>();
+}
+
 uint64_t
 Type::size() const
 {
     switch (kind_) {
       case Kind::Scalar: return scalarSize(scalar_);
       case Kind::Pointer: return 8;
-      case Kind::Array: return element_->size() * count_;
-      case Kind::Struct: return struct_->size();
+      case Kind::Array: return element()->size() * count_;
+      case Kind::Struct: return structDecl()->size();
     }
     return 0;
 }
@@ -71,8 +79,8 @@ Type::align() const
     switch (kind_) {
       case Kind::Scalar: return scalarSize(scalar_) ? scalarSize(scalar_) : 1;
       case Kind::Pointer: return 8;
-      case Kind::Array: return element_->align();
-      case Kind::Struct: return struct_->align();
+      case Kind::Array: return element()->align();
+      case Kind::Struct: return structDecl()->align();
     }
     return 1;
 }
@@ -86,75 +94,96 @@ Type::cName(const std::string &declarator) const
                    ? std::string(scalarName(scalar_))
                    : std::string(scalarName(scalar_)) + " " + declarator;
       case Kind::Pointer:
-        return element_->cName("*" + declarator);
+        return element()->cName("*" + declarator);
       case Kind::Array:
-        return element_->cName(declarator + "[" +
-                               std::to_string(count_) + "]");
+        return element()->cName(declarator + "[" +
+                                std::to_string(count_) + "]");
       case Kind::Struct: {
-        std::string base = "struct " + struct_->name();
+        std::string base = "struct " + std::string(structDecl()->name());
         return declarator.empty() ? base : base + " " + declarator;
       }
     }
     return "?";
 }
 
-TypeTable::TypeTable()
+TypeTable::TypeTable(ASTContext *ctx) : ctx_(ctx)
 {
+    // Intern the scalars up front, in enum order, so scalar(k) is a
+    // plain index and every table places them at the same TypeRefs.
     static const ScalarKind kinds[] = {
         ScalarKind::Void, ScalarKind::S8, ScalarKind::U8, ScalarKind::S16,
         ScalarKind::U16, ScalarKind::S32, ScalarKind::U32, ScalarKind::S64,
         ScalarKind::U64,
     };
     for (ScalarKind k : kinds) {
-        auto t = std::unique_ptr<Type>(new Type());
-        t->kind_ = Type::Kind::Scalar;
-        t->scalar_ = k;
-        scalars_[static_cast<int>(k)] = std::move(t);
+        Type t;
+        t.kind_ = Type::Kind::Scalar;
+        t.scalar_ = k;
+        intern(t, {static_cast<uint8_t>(Type::Kind::Scalar),
+                   static_cast<uint32_t>(k), 0});
     }
 }
 
 const Type *
 TypeTable::scalar(ScalarKind k) const
 {
-    return scalars_[static_cast<int>(k)].get();
+    return &types_[static_cast<int>(k)];
+}
+
+const Type *
+TypeTable::intern(Type t, std::tuple<uint8_t, uint32_t, uint32_t> key)
+{
+    auto it = interned_.find(key);
+    if (it != interned_.end())
+        return &types_[it->second];
+    TypeRef idx = static_cast<TypeRef>(types_.size());
+    t.index_ = idx;
+    t.table_ = this;
+    types_.push_back(t);
+    interned_.emplace(key, idx);
+    return &types_[idx];
 }
 
 const Type *
 TypeTable::pointer(const Type *pointee)
 {
-    auto &slot = pointers_[pointee];
-    if (!slot) {
-        slot = std::unique_ptr<Type>(new Type());
-        slot->kind_ = Type::Kind::Pointer;
-        slot->element_ = pointee;
-    }
-    return slot.get();
+    Type t;
+    t.kind_ = Type::Kind::Pointer;
+    t.elem_ = refOf(pointee);
+    return intern(t, {static_cast<uint8_t>(Type::Kind::Pointer),
+                      t.elem_, 0});
 }
 
 const Type *
 TypeTable::array(const Type *elem, uint32_t count)
 {
     UBF_ASSERT(count > 0, "zero-length arrays are not in MiniC");
-    auto &slot = arrays_[{elem, count}];
-    if (!slot) {
-        slot = std::unique_ptr<Type>(new Type());
-        slot->kind_ = Type::Kind::Array;
-        slot->element_ = elem;
-        slot->count_ = count;
-    }
-    return slot.get();
+    Type t;
+    t.kind_ = Type::Kind::Array;
+    t.elem_ = refOf(elem);
+    t.count_ = count;
+    return intern(t, {static_cast<uint8_t>(Type::Kind::Array),
+                      t.elem_, count});
 }
 
 const Type *
 TypeTable::structTy(const StructDecl *decl)
 {
-    auto &slot = structs_[decl];
-    if (!slot) {
-        slot = std::unique_ptr<Type>(new Type());
-        slot->kind_ = Type::Kind::Struct;
-        slot->struct_ = decl;
-    }
-    return slot.get();
+    Type t;
+    t.kind_ = Type::Kind::Struct;
+    t.structNode_ = decl->arenaIndex();
+    return intern(t, {static_cast<uint8_t>(Type::Kind::Struct),
+                      t.structNode_, 0});
+}
+
+void
+TypeTable::copyFrom(const TypeTable &src)
+{
+    UBF_ASSERT(types_.size() == 9, "TypeTable::copyFrom target not fresh");
+    types_ = src.types_;
+    interned_ = src.interned_;
+    for (Type &t : types_)
+        t.table_ = this;
 }
 
 } // namespace ubfuzz::ast

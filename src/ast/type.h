@@ -6,20 +6,33 @@
  * signed/unsigned integers of 8/16/32/64 bits, pointers, fixed-size
  * arrays, and plain structs of scalar fields. Types are interned in a
  * per-program TypeTable, so `const Type *` equality is type equality.
+ *
+ * Types are index-based like the AST arena: a Type names its pointee
+ * by TypeRef (index into the table) and its struct by the StructDecl's
+ * arena NodeIndex, never by raw pointer. Cloning a program therefore
+ * copies the table verbatim — every TypeRef stored in a node slot
+ * means the same type in the clone, which is what lets cloneProgram
+ * memcpy node slots without touching them.
  */
 
 #ifndef UBFUZZ_AST_TYPE_H
 #define UBFUZZ_AST_TYPE_H
 
 #include <cstdint>
+#include <deque>
 #include <map>
-#include <memory>
 #include <string>
-#include <vector>
+#include <tuple>
 
 namespace ubfuzz::ast {
 
+class ASTContext;
 class StructDecl;
+class TypeTable;
+
+/** Index of an interned Type inside its TypeTable. */
+using TypeRef = uint32_t;
+inline constexpr TypeRef kNullTypeRef = 0xFFFFFFFFu;
 
 /** Built-in scalar kinds. Comparisons and logic produce S32, as in C. */
 enum class ScalarKind : uint8_t {
@@ -59,10 +72,13 @@ class Type
 
     ScalarKind scalar() const { return scalar_; }
     /** Pointee for pointers, element type for arrays. */
-    const Type *element() const { return element_; }
+    const Type *element() const;
     /** Array element count. */
     uint32_t arraySize() const { return count_; }
-    const StructDecl *structDecl() const { return struct_; }
+    const StructDecl *structDecl() const;
+
+    /** This type's index in its TypeTable. */
+    TypeRef ref() const { return index_; }
 
     /** Byte size (arrays: elem size * count; pointers: 8). */
     uint64_t size() const;
@@ -78,16 +94,24 @@ class Type
 
     Kind kind_ = Kind::Scalar;
     ScalarKind scalar_ = ScalarKind::Void;
-    const Type *element_ = nullptr;
+    /** Pointee/element, as an index into the owning table. */
+    TypeRef elem_ = kNullTypeRef;
     uint32_t count_ = 0;
-    const StructDecl *struct_ = nullptr;
+    /** Arena NodeIndex of the StructDecl (struct types only). */
+    uint32_t structNode_ = 0xFFFFFFFFu;
+    TypeRef index_ = 0;
+    const TypeTable *table_ = nullptr;
 };
 
 /** Per-program intern table for types. */
 class TypeTable
 {
   public:
-    TypeTable();
+    /** @p ctx is the arena struct types resolve their StructDecl in. */
+    explicit TypeTable(ASTContext *ctx);
+
+    TypeTable(const TypeTable &) = delete;
+    TypeTable &operator=(const TypeTable &) = delete;
 
     const Type *scalar(ScalarKind k) const;
     const Type *voidTy() const { return scalar(ScalarKind::Void); }
@@ -101,13 +125,39 @@ class TypeTable
     /** `char *`, the type of __malloc's result. */
     const Type *bytePtr() { return pointer(scalar(ScalarKind::S8)); }
 
+    /** Resolve an interned index (addresses are stable: deque). */
+    const Type &at(TypeRef r) const { return types_[r]; }
+    /** The index of @p t (kNullTypeRef for nullptr). */
+    static TypeRef
+    refOf(const Type *t)
+    {
+        return t ? t->index_ : kNullTypeRef;
+    }
+
+    /**
+     * Become a verbatim copy of @p src (clone support): same entries at
+     * the same indices, so TypeRefs stored in memcpy'd node slots keep
+     * their meaning. Only valid on a freshly constructed table.
+     */
+    void copyFrom(const TypeTable &src);
+
   private:
-    std::unique_ptr<Type> scalars_[9];
-    std::map<const Type *, std::unique_ptr<Type>> pointers_;
-    std::map<std::pair<const Type *, uint32_t>, std::unique_ptr<Type>>
-        arrays_;
-    std::map<const StructDecl *, std::unique_ptr<Type>> structs_;
+    friend class Type;
+
+    const Type *intern(Type t, std::tuple<uint8_t, uint32_t, uint32_t> key);
+
+    ASTContext *ctx_;
+    /** Interned types; deque so `const Type *` stays stable. */
+    std::deque<Type> types_;
+    /** (kind, elem/scalar/structNode, count) -> index into types_. */
+    std::map<std::tuple<uint8_t, uint32_t, uint32_t>, TypeRef> interned_;
 };
+
+inline const Type *
+Type::element() const
+{
+    return elem_ == kNullTypeRef ? nullptr : &table_->at(elem_);
+}
 
 } // namespace ubfuzz::ast
 

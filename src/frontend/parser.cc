@@ -95,7 +95,7 @@ class Parser
     void
     declare(VarDecl *v)
     {
-        scopes_.back()[v->name()] = v;
+        scopes_.back()[std::string(v->name())] = v;
     }
 
     VarDecl *

@@ -29,89 +29,68 @@ struct RV
 };
 
 /**
- * Order-sensitive structural hash of a function subtree (see
- * FunctionLoweringInfo::astFingerprint). Mixes node kinds, node ids,
- * referenced declaration ids, operators, and literal values — every
- * AST property the lowering of the subtree reads besides types, which
- * are immutable per declaration in a node-id-preserving clone.
+ * Computes a SubtreeFingerprint: walks a subtree once to find the
+ * [min, max] arena-index span of its nodes, then hashes the raw slot
+ * bytes of that range (ASTContext::hashNodeRange). The walk recurses
+ * only into *owned* children — statements, expressions, parameters,
+ * declaration initializers. Cross-references (a VarRef's decl, a
+ * Call's callee, a Member's field) are NOT recursed: their arena
+ * indices sit in the referencing node's own slot bytes, so the hash
+ * already pins them, and chasing them would balloon the span to
+ * wherever the declaration lives. The walk runs once per *recorded*
+ * subtree (seed-side); verification on a derived clone is a pure
+ * range re-hash with no walk at all.
  */
-class AstFingerprinter
+class SubtreeSpan
 {
   public:
-    uint64_t
+    SubtreeFingerprint
     run(const FunctionDecl *f)
     {
-        mix(f->nodeId());
+        touch(f);
         for (const VarDecl *p : f->params())
-            mixNode(p);
+            walkVarDecl(p);
         if (f->body())
             walkStmt(f->body());
-        return h_;
+        return finish(f->ctx());
     }
 
-    uint64_t
+    SubtreeFingerprint
     runStmt(const Stmt *s)
     {
         walkStmt(s);
-        return h_;
+        return finish(s->ctx());
     }
 
   private:
-    uint64_t h_ = 0xcbf29ce484222325ULL;
+    NodeIndex lo_ = ast::kNullNode;
+    NodeIndex hi_ = 0;
 
     void
-    mix(uint64_t v)
+    touch(const Node *n)
     {
-        h_ = (h_ ^ (v & 0xffffffff)) * 0x100000001b3ULL;
-        h_ = (h_ ^ (v >> 32)) * 0x100000001b3ULL;
+        NodeIndex i = n->arenaIndex();
+        if (i < lo_)
+            lo_ = i;
+        if (i > hi_)
+            hi_ = i;
     }
 
-    void
-    mixNode(const Node *n)
+    SubtreeFingerprint
+    finish(const ASTContext &ctx) const
     {
-        mix((static_cast<uint64_t>(n->nodeId()) << 8) |
-            static_cast<uint64_t>(n->kind()));
+        UBF_ASSERT(lo_ != ast::kNullNode, "empty subtree span");
+        SubtreeFingerprint fp;
+        fp.begin = lo_;
+        fp.end = hi_ + 1;
+        fp.hash = ctx.hashNodeRange(fp.begin, fp.end);
+        return fp;
     }
 
     void
     walkExpr(const Expr *e)
     {
-        mixNode(e);
-        switch (e->kind()) {
-          case NodeKind::IntLit:
-            mix(e->as<IntLit>()->value());
-            break;
-          case NodeKind::VarRef:
-            mix(e->as<VarRef>()->decl()->nodeId());
-            break;
-          case NodeKind::Unary:
-            mix(static_cast<uint64_t>(e->as<Unary>()->op()));
-            break;
-          case NodeKind::Binary:
-            mix(static_cast<uint64_t>(e->as<Binary>()->op()));
-            break;
-          case NodeKind::Member:
-            mix(e->as<Member>()->field()->nodeId());
-            mix(e->as<Member>()->isArrow());
-            break;
-          case NodeKind::Call: {
-            // Builtin callees are re-created (fresh ids) by program
-            // cloning, and lowering only ever reads their builtin
-            // enum — so fingerprint that; user functions keep their
-            // preserved node id.
-            const FunctionDecl *callee = e->as<Call>()->callee();
-            if (callee->builtin() != Builtin::None) {
-                mix(1);
-                mix(static_cast<uint64_t>(callee->builtin()));
-            } else {
-                mix(2);
-                mix(callee->nodeId());
-            }
-            break;
-          }
-          default:
-            break;
-        }
+        touch(e);
         forEachChildExpr(const_cast<Expr *>(e),
                          [&](Expr *c) { walkExpr(c); });
     }
@@ -119,7 +98,7 @@ class AstFingerprinter
     void
     walkVarDecl(const VarDecl *v)
     {
-        mixNode(v);
+        touch(v);
         if (v->init())
             walkExpr(v->init());
     }
@@ -127,7 +106,7 @@ class AstFingerprinter
     void
     walkStmt(const Stmt *s)
     {
-        mixNode(s);
+        touch(s);
         switch (s->kind()) {
           case NodeKind::Block:
             for (const Stmt *c : s->as<Block>()->stmts())
@@ -138,7 +117,6 @@ class AstFingerprinter
             break;
           case NodeKind::AssignStmt: {
             auto *a = s->as<AssignStmt>();
-            mix(static_cast<uint64_t>(a->op()));
             walkExpr(a->lhs());
             walkExpr(a->rhs());
             break;
@@ -177,7 +155,7 @@ class AstFingerprinter
           case NodeKind::ContinueStmt:
             break;
           default:
-            UBF_PANIC("astFingerprint: unhandled statement");
+            UBF_PANIC("subtree span: unhandled statement");
         }
     }
 };
@@ -252,8 +230,7 @@ class Lowerer
                 record_->functions.emplace_back();
                 curInfo_ = &record_->functions.back();
                 curInfo_->declId = funcs[i]->nodeId();
-                curInfo_->astFingerprint =
-                    AstFingerprinter().run(funcs[i]);
+                curInfo_->astFingerprint = SubtreeSpan().run(funcs[i]);
             }
             lowerFunction(funcs[i]);
             stmtReuse_ = nullptr;
@@ -487,7 +464,10 @@ class Lowerer
         if (fi.declId != f->nodeId() ||
             f->nodeId() == reuse_->perturbedFnId)
             return false;
-        if (AstFingerprinter().run(f) != fi.astFingerprint)
+        // Pure range re-hash: the memcpy clone preserved arena indices
+        // and slot bytes, so no tree walk is needed to prove the
+        // function unperturbed.
+        if (!fi.astFingerprint.matches(prog_.ctx(), f))
             return false;
         // Every location the base lowering consumed must reappear in
         // the derived printing at the same intra-line offset, shifted
@@ -537,7 +517,7 @@ class Lowerer
     {
         fn_ = &module_.functions[funcIndex_.at(f)];
         localIndex_.clear();
-        declIdIndex_.clear();
+        clearDeclIndex();
         ownLocSet_ = false;
         depSet_.clear();
         // Parameters occupy the first frame slots.
@@ -549,7 +529,7 @@ class Lowerer
             obj.declId = p->nodeId();
             uint32_t idx = static_cast<uint32_t>(fn_->frame.size());
             localIndex_[p] = idx;
-            declIdIndex_[p->nodeId()] = idx;
+            setDeclIndex(p->nodeId(), idx);
             fn_->frame.push_back(std::move(obj));
         }
         fn_->numParams = static_cast<uint32_t>(f->params().size());
@@ -685,7 +665,7 @@ class Lowerer
         if (!l.isValid())
             return;
         StmtLoweringInfo m;
-        m.fingerprint = AstFingerprinter().runStmt(s);
+        m.fingerprint = SubtreeSpan().runStmt(s);
         m.block = snap.block;
         m.instStart = snap.instCount;
         m.instEnd =
@@ -778,7 +758,7 @@ class Lowerer
         SourceLoc d = map_.loc(s->nodeId());
         if (!d.isValid() || d.offset != m.loc.offset)
             return bail();
-        if (AstFingerprinter().runStmt(s) != m.fingerprint)
+        if (!m.fingerprint.matches(prog_.ctx(), s))
             return bail();
         int32_t dline = d.line - m.loc.line;
         int64_t dreg = static_cast<int64_t>(fn_->numRegs) - m.regsBefore;
@@ -822,14 +802,13 @@ class Lowerer
                     // rebind by decl node id (its index may have
                     // shifted past an inserted declaration).
                     const FrameObject &bo = bfn.frame[inst.object];
-                    auto di = bo.declId
-                                  ? declIdIndex_.find(bo.declId)
-                                  : declIdIndex_.end();
-                    if (di == declIdIndex_.end()) {
+                    const uint32_t *di =
+                        bo.declId ? findDeclIndex(bo.declId) : nullptr;
+                    if (!di) {
                         ok = false;
                         break;
                     }
-                    inst.object = di->second;
+                    inst.object = *di;
                 }
             }
             if (inst.op == Opcode::Br || inst.op == Opcode::CondBr) {
@@ -860,7 +839,7 @@ class Lowerer
             FrameObject obj = bfn.frame[fi];
             uint32_t nidx = static_cast<uint32_t>(fn_->frame.size());
             if (obj.declId)
-                declIdIndex_[obj.declId] = nidx;
+                setDeclIndex(obj.declId, nidx);
             else
                 obj.name = "tmp" + std::to_string(nidx);
             fn_->frame.push_back(std::move(obj));
@@ -892,7 +871,7 @@ class Lowerer
         uint32_t idx = static_cast<uint32_t>(fn_->frame.size());
         fn_->frame.push_back(std::move(obj));
         localIndex_[v] = idx;
-        declIdIndex_[v->nodeId()] = idx;
+        setDeclIndex(v->nodeId(), idx);
 
         Inst start;
         start.op = Opcode::LifetimeStart;
@@ -1671,8 +1650,34 @@ class Lowerer
     std::unordered_set<uint32_t> depSet_;
     /** Frame index of each declared variable (by decl nodeId) in the
      *  function being lowered — how copied statement ranges rebind
-     *  references to variables whose frame index shifted. */
-    std::unordered_map<uint32_t, uint32_t> declIdIndex_;
+     *  references to variables whose frame index shifted. Node ids
+     *  are dense per program, so this is a plain vector; per-function
+     *  clearing is an epoch bump, not a wipe. */
+    std::vector<uint32_t> declIdSlot_;
+    std::vector<uint32_t> declIdEpoch_;
+    uint32_t declEpoch_ = 1;
+
+    void clearDeclIndex() { declEpoch_++; }
+
+    void
+    setDeclIndex(uint32_t declId, uint32_t idx)
+    {
+        if (declId >= declIdSlot_.size()) {
+            declIdSlot_.resize(declId + 1, 0);
+            declIdEpoch_.resize(declId + 1, 0);
+        }
+        declIdSlot_[declId] = idx;
+        declIdEpoch_[declId] = declEpoch_;
+    }
+
+    const uint32_t *
+    findDeclIndex(uint32_t declId) const
+    {
+        if (declId >= declIdSlot_.size() ||
+            declIdEpoch_[declId] != declEpoch_)
+            return nullptr;
+        return &declIdSlot_[declId];
+    }
     Module module_;
     std::unordered_map<const VarDecl *, uint32_t> globalIndex_;
     std::unordered_map<const VarDecl *, uint32_t> localIndex_;

@@ -36,6 +36,44 @@
 namespace ubfuzz::ir {
 
 /**
+ * Fingerprint of an AST subtree as a contiguous arena slot range:
+ * [begin, end) node indices plus ASTContext::hashNodeRange over them.
+ * Producers (the generator, the parser, the node-by-node cloner) build
+ * each subtree's nodes consecutively, so the span is tight; the memcpy
+ * clone preserves arena indices and slot bytes verbatim, so an
+ * unperturbed subtree matches by pure range re-hash — no tree walk.
+ * Any in-place mutation rewrites bytes inside the span, and any
+ * inserted node lives past the seed's arena tail, outside every
+ * recorded span — both change or miss the hash, failing the proof.
+ */
+struct SubtreeFingerprint
+{
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    uint64_t hash = 0;
+
+    bool
+    operator==(const SubtreeFingerprint &o) const
+    {
+        return begin == o.begin && end == o.end && hash == o.hash;
+    }
+    bool operator!=(const SubtreeFingerprint &o) const { return !(*this == o); }
+
+    /**
+     * Does the same slot range of @p ctx, which must contain
+     * @p root's slot, still hash identically? False (never a panic)
+     * when the range is out of bounds for this context.
+     */
+    bool
+    matches(const ast::ASTContext &ctx, const ast::Node *root) const
+    {
+        return begin < end && end <= ctx.numNodes() &&
+               root->arenaIndex() >= begin && root->arenaIndex() < end &&
+               ctx.hashNodeRange(begin, end) == hash;
+    }
+};
+
+/**
  * Provenance of one *simple* statement's lowering: the IR range it
  * emitted and the lowering-state window it emitted it in. "Simple"
  * means the emission stayed contiguous in one basic block and created
@@ -53,9 +91,9 @@ namespace ubfuzz::ir {
  */
 struct StmtLoweringInfo
 {
-    /** AST fingerprint of the statement subtree (same scheme as
-     *  FunctionLoweringInfo::astFingerprint). */
-    uint64_t fingerprint = 0;
+    /** Arena-range fingerprint of the statement subtree (same scheme
+     *  as FunctionLoweringInfo::astFingerprint). */
+    SubtreeFingerprint fingerprint;
     /** Block the emission went into (unchanged across the stmt). */
     uint32_t block = 0;
     /** Emitted instruction range [instStart, instEnd) in `block`. */
@@ -94,13 +132,14 @@ struct FunctionLoweringInfo
     /** The FunctionDecl nodeId this module function was lowered from. */
     uint32_t declId = 0;
     /**
-     * Order-sensitive fingerprint of the function's AST subtree (node
-     * kinds, node ids, referenced decl ids, literal values). A clone
-     * that preserves node ids fingerprints identically; any insertion
-     * or expression rewrite introduces fresh ids and changes it — the
-     * structural half of the splice-safety proof.
+     * Arena-range fingerprint of the function's AST subtree. The
+     * memcpy clone preserves arena indices and slot bytes, so an
+     * unperturbed function matches by re-hashing the recorded range;
+     * any in-place rewrite or insertion changes the covered bytes or
+     * falls outside the range — the structural half of the
+     * splice-safety proof.
      */
-    uint64_t astFingerprint = 0;
+    SubtreeFingerprint astFingerprint;
     /** Every nodeId whose source location the lowering consumed. The
      *  locational half of the proof: splicing requires all of them to
      *  shift by one uniform line delta in the derived printing. */

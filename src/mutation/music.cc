@@ -224,8 +224,7 @@ musicMutate(const Program &seed, Rng &rng, uint32_t *perturbedFnId)
         break;
       }
       case Opportunity::Kind::DeleteStmt:
-        op.block->stmts().erase(op.block->stmts().begin() +
-                                op.stmtIndex);
+        op.block->eraseAt(op.stmtIndex);
         break;
       case Opportunity::Kind::NegateCond:
         op.ifStmt->setCond(

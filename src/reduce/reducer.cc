@@ -133,6 +133,13 @@ reduceProgram(const Program &input, const Predicate &interesting,
     ReduceStats local;
     ReduceStats &st = stats ? *stats : local;
 
+    // Clone accounting: reduction must cost exactly one clone for the
+    // working copy plus one per trial — an accepted trial is *moved*
+    // into `current`, never re-cloned (it used to be, doubling the
+    // cost of every accepted step).
+    uint64_t clonesBefore = cloneProgramCallCount();
+    uint64_t trialsMade = 0;
+
     ClonedProgram current = cloneProgram(input);
     bool progress = true;
     while (progress) {
@@ -145,6 +152,7 @@ reduceProgram(const Program &input, const Predicate &interesting,
                 collectStmtSlots(f->body(), slots);
         for (const auto &[blockId, index] : slots) {
             ClonedProgram trial = cloneProgram(*current.program);
+            trialsMade++;
             Node *n = trial.find(blockId);
             if (!n)
                 continue;
@@ -158,10 +166,10 @@ reduceProgram(const Program &input, const Predicate &interesting,
                 if (refs.count(d->var()->nodeId()))
                     continue;
             }
-            b->stmts().erase(b->stmts().begin() + index);
+            b->eraseAt(index);
             st.predicateRuns++;
             if (interesting(*trial.program)) {
-                current = cloneProgram(*trial.program);
+                current = std::move(trial);
                 st.statementsRemoved++;
                 progress = true;
                 break; // re-enumerate slots on the new program
@@ -174,6 +182,7 @@ reduceProgram(const Program &input, const Predicate &interesting,
         auto refs = allReferences(*current.program);
         {
             ClonedProgram trial = cloneProgram(*current.program);
+            trialsMade++;
             auto &globals = trial.program->globals();
             size_t before = globals.size();
             globals.erase(
@@ -198,12 +207,14 @@ reduceProgram(const Program &input, const Predicate &interesting,
                         static_cast<int>(before - globals.size());
                     st.functionsRemoved +=
                         static_cast<int>(fn_before - fns.size());
-                    current = cloneProgram(*trial.program);
+                    current = std::move(trial);
                     progress = true;
                 }
             }
         }
     }
+    UBF_ASSERT(cloneProgramCallCount() - clonesBefore == 1 + trialsMade,
+               "reducer cloned more than once per trial");
     return std::move(current.program);
 }
 

@@ -596,7 +596,7 @@ struct UBGenerator::Impl
             block->insert(at, shadow);
             ix->setIndex(eb.bin(BinaryOp::Add, ix->index(),
                                 eb.ref(aux)));
-            out.shadowDesc = aux->name() + " = " + std::to_string(v) +
+            out.shadowDesc = std::string(aux->name()) + " = " + std::to_string(v) +
                              " - (index)";
             break;
           }
@@ -630,7 +630,7 @@ struct UBGenerator::Impl
                     eb.bin(BinaryOp::Add, d->sub(), eb.ref(aux)));
             }
             out.shadowDesc =
-                aux->name() + " = " + std::to_string(bc) +
+                std::string(aux->name()) + " = " + std::to_string(bc) +
                 " (elements past the pointee)";
             break;
           }
@@ -645,7 +645,7 @@ struct UBGenerator::Impl
                 eb.call(p.builtin(Builtin::Free),
                         {eb.cast(p.types().bytePtr(), eb.ref(pv))}));
             block->insert(at, shadow);
-            out.shadowDesc = "__free(" + pv->name() + ")";
+            out.shadowDesc = "__free(" + std::string(pv->name()) + ")";
             break;
           }
           case UBKind::UseAfterScope: {
@@ -678,7 +678,8 @@ struct UBGenerator::Impl
             inner->append(p.ctx().make<AssignStmt>(
                 AssignOp::Assign, eb.ref(pv), rhs));
             out.shadowDesc =
-                pv->name() + " = &" + qv->name() + " (inner scope)";
+                std::string(pv->name()) + " = &" + std::string(qv->name()) +
+                " (inner scope)";
             break;
           }
           case UBKind::NullPtrDeref: {
@@ -690,7 +691,7 @@ struct UBGenerator::Impl
                 AssignOp::Assign, eb.ref(pv),
                 eb.cast(pv->type(), eb.lit(0)));
             block->insert(at, shadow);
-            out.shadowDesc = pv->name() + " = 0";
+            out.shadowDesc = std::string(pv->name()) + " = 0";
             break;
           }
           case UBKind::IntegerOverflow: {
@@ -711,7 +712,7 @@ struct UBGenerator::Impl
                             unsignedDelta(p, eb, k, minv, x_copy)));
                 u->setSub(
                     eb.bin(BinaryOp::Add, u->sub(), eb.ref(aux)));
-                out.shadowDesc = aux->name() + " forces -(MIN)";
+                out.shadowDesc = std::string(aux->name()) + " forces -(MIN)";
                 break;
             }
             auto *b = clone.findAs<Binary>(site.exprId);
@@ -827,7 +828,7 @@ struct UBGenerator::Impl
                 return std::nullopt;
             out.siteId = newCond->nodeId();
             out.shadowDesc = "condition mixed with uninitialized " +
-                             aux->name();
+                             std::string(aux->name());
             break;
           }
           case UBKind::kCount:

@@ -215,6 +215,120 @@ int main(void) {
     }
 }
 
+TEST(Arena, NodeIdsAreDenseAndIndexable)
+{
+    // The arena replaces the per-program id->node hash map with a
+    // dense vector: every node is reachable both by arena index and by
+    // nodeId, and the two views agree.
+    auto prog = frontend::parseOrDie(R"(int g = 3;
+long helper(int a) {
+    return (long)a * 2l;
+}
+int main(void) {
+    int x = g + 4;
+    __checksum(helper(x));
+    return x;
+}
+)");
+    const ASTContext &ctx = prog->ctx();
+    ASSERT_GT(ctx.numNodes(), 0u);
+    for (NodeIndex i = 0; i < ctx.numNodes(); i++) {
+        const Node *n = ctx.nodeAt(i);
+        EXPECT_EQ(n->arenaIndex(), i);
+        EXPECT_EQ(ctx.nodeById(n->nodeId()), n);
+    }
+}
+
+TEST(Arena, DuplicateNodeIdPanics)
+{
+    Program p;
+    p.ctx().makeWithId<Block>(42);
+    EXPECT_DEATH(p.ctx().makeWithId<Block>(42), "duplicate nodeId");
+}
+
+TEST(Clone, MemcpyClonePreservesIndicesIdsAndRangeHashes)
+{
+    auto prog = frontend::parseOrDie(R"(struct S0 {
+    int f0;
+};
+struct S0 gs;
+int ga[4] = {1, 2, 3, 4};
+int main(void) {
+    int i = 0;
+    for (i = 0; i < 4; i += 1) {
+        ga[i] = ga[i] * 2;
+    }
+    gs.f0 = (ga[0] > 3) ? ga[1] : ga[2];
+    __checksum((long)gs.f0);
+    return 0;
+}
+)");
+    ClonedProgram cloned = cloneProgram(*prog);
+    const ASTContext &a = prog->ctx();
+    const ASTContext &b = cloned.program->ctx();
+    ASSERT_EQ(a.numNodes(), b.numNodes());
+    for (NodeIndex i = 0; i < a.numNodes(); i++) {
+        EXPECT_EQ(a.nodeAt(i)->nodeId(), b.nodeAt(i)->nodeId());
+        EXPECT_EQ(a.nodeAt(i)->kind(), b.nodeAt(i)->kind());
+        // Dense id lookup in the clone lands on the same slot.
+        EXPECT_EQ(cloned.find(a.nodeAt(i)->nodeId()), b.nodeAt(i));
+    }
+    // Every subtree fingerprint is a hash over a slot range; the
+    // memcpy clone must agree on *every* range, not just the whole
+    // arena — sample a grid of [i, j) windows.
+    for (NodeIndex i = 0; i < a.numNodes(); i += 7)
+        for (NodeIndex j = i + 1; j <= a.numNodes(); j += 5)
+            EXPECT_EQ(a.hashNodeRange(i, j), b.hashNodeRange(i, j));
+}
+
+TEST(Clone, InPlaceMutationChangesTheRangeHash)
+{
+    auto prog = frontend::parseOrDie(R"(int g = 3;
+int main(void) {
+    int x = g + 4;
+    return x;
+}
+)");
+    const ASTContext &sctx = prog->ctx();
+    uint64_t sourceHash = sctx.hashNodeRange(0, sctx.numNodes());
+
+    ClonedProgram cloned = cloneProgram(*prog);
+    ASTContext &cctx = cloned.program->ctx();
+    ASSERT_EQ(cctx.hashNodeRange(0, cctx.numNodes()), sourceHash);
+
+    // Flip the `g + 4` operator in place: the Binary slot's bytes
+    // change, so any range covering it hashes differently.
+    auto *decl =
+        cloned.program->main()->body()->stmts()[0]->as<DeclStmt>();
+    auto *bin = decl->var()->init()->as<Binary>();
+    bin->setOp(BinaryOp::Sub);
+    EXPECT_NE(cctx.hashNodeRange(0, cctx.numNodes()), sourceHash);
+    // A range that excludes the mutated slot still matches.
+    NodeIndex bi = bin->arenaIndex();
+    if (bi > 0)
+        EXPECT_EQ(cctx.hashNodeRange(0, bi), sctx.hashNodeRange(0, bi));
+    // The source program is untouched.
+    EXPECT_EQ(sctx.hashNodeRange(0, sctx.numNodes()), sourceHash);
+}
+
+TEST(Clone, RebuildBaselinePrintsIdentically)
+{
+    // The node-by-node cloner is kept as the bench baseline; it must
+    // still produce a semantically identical program (same text, same
+    // nodeIds for every source node).
+    auto prog = frontend::parseOrDie(R"(int g = 3;
+int main(void) {
+    int x = g + 4;
+    __checksum((long)x);
+    return x;
+}
+)");
+    ClonedProgram rebuilt = cloneProgramByRebuild(*prog);
+    EXPECT_EQ(programText(*rebuilt.program), programText(*prog));
+    for (const ast::VarDecl *gv : prog->globals())
+        EXPECT_NE(rebuilt.find(gv->nodeId()), nullptr);
+}
+
 TEST(Clone, MutatingCloneLeavesOriginalIntact)
 {
     auto prog = frontend::parseOrDie(R"(int g = 3;

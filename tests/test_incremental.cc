@@ -206,6 +206,46 @@ TEST(IncrementalLowering, HandMutatedCloneStaysExact)
     EXPECT_EQ(inc.splicedFunctions, 0u);
 }
 
+TEST(IncrementalLowering, FingerprintRangesSurviveMemcpyClones)
+{
+    // The splice proof's structural half is now a hash over an arena
+    // slot range. A memcpy clone preserves indices and slot bytes, so
+    // every recorded function fingerprint must match on the clone by
+    // pure range re-hash; an in-place perturbation inside one function
+    // must break exactly that function's fingerprint.
+    auto seed = makeSeed(9);
+    ASSERT_GE(seed->functions().size(), 1u);
+    ast::PrintedProgram printed = ast::printProgram(*seed);
+    ir::LoweringInfo info;
+    ir::lowerProgram(*seed, printed.map, &info);
+    ASSERT_EQ(info.functions.size(), seed->functions().size());
+
+    ast::ClonedProgram clone = ast::cloneProgram(*seed);
+    ast::Program &p = *clone.program;
+    for (size_t i = 0; i < p.functions().size(); i++)
+        EXPECT_TRUE(info.functions[i].astFingerprint.matches(
+            p.ctx(), p.functions()[i]))
+            << "function " << i << " fails on an untouched clone";
+
+    // Perturb the last function in place: appending to its body block
+    // rewrites the block slot's list range, which lies inside the
+    // recorded span.
+    size_t victim = p.functions().size() - 1;
+    ast::Block *body = p.functions()[victim]->body();
+    ASSERT_NE(body, nullptr);
+    body->append(p.ctx().make<ast::ReturnStmt>(nullptr));
+    for (size_t i = 0; i < p.functions().size(); i++)
+        EXPECT_EQ(info.functions[i].astFingerprint.matches(
+                      p.ctx(), p.functions()[i]),
+                  i != victim);
+
+    // The original seed still matches everywhere — fingerprints proved
+    // something about the clone, not the source.
+    for (size_t i = 0; i < seed->functions().size(); i++)
+        EXPECT_TRUE(info.functions[i].astFingerprint.matches(
+            seed->ctx(), seed->functions()[i]));
+}
+
 TEST(IncrementalLowering, ProvenanceSplicesWholeUnperturbedClone)
 {
     // An untouched clone printed identically: every function splices
