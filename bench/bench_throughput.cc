@@ -138,6 +138,14 @@ main(int argc, char **argv)
     std::printf("translation hits: %zu\n", stats.exec.translationHits);
     std::printf("dedup skips:      %zu\n", stats.exec.dedupSkips);
     std::printf("corpus replays:   %zu\n", stats.exec.corpusSkips);
+    // Cap pressure: how often the corpus memo / per-unit code cache
+    // were full and recomputed instead of admitting. Nonzero here means
+    // the caps are bounding memory on this workload — results are
+    // bit-identical either way (test_orchestrator pins that), but the
+    // work saved by the caches shrinks.
+    std::printf("memo cap rejects: %zu\n", stats.exec.corpusCapRejects);
+    std::printf("cache cap rejects: %zu\n",
+                stats.exec.translationCapRejects);
     std::printf("unique programs:  %zu (cross-seed duplicates: %zu)\n",
                 stats.uniquePrograms(), stats.corpusDuplicates);
     std::printf("exec timeouts:    %zu (excluded from pairing: %zu)\n",

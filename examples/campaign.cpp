@@ -1,20 +1,33 @@
 /**
  * @file
- * A miniature fuzzing campaign from the command line:
+ * The campaign service from the command line:
  *
  *   ./build/examples/campaign [numSeeds] [source] [--jobs N]
- *                             [--step-limit N]
+ *       [--step-limit N] [--seed S] [--cap-per-kind N]
+ *       [--store DIR] [--resume] [--shard i/N] [--max-units K]
+ *       [--serve]
+ *   ./build/examples/campaign merge --store DIR
  *
  * where source is one of: ubfuzz (default), music, nosafe, juliet.
- * --jobs shards the seeds over a worker pool (0 = all hardware
- * threads) without changing the results; --step-limit bounds every
- * differential execution (default 1000000 steps). Prints the campaign
- * statistics and the injected bugs it pinned.
+ *
+ * A plain invocation runs one in-memory campaign. `--store DIR`
+ * journals every completed unit to DIR so the campaign survives its
+ * process: kill it mid-run, rerun with `--resume`, and the final
+ * stats and finding digest are bit-identical to an uninterrupted run.
+ * `--shard i/N` runs only every N-th unit (1-based; launch N
+ * processes with the same --store and fold their journals with the
+ * `merge` subcommand). `--max-units K` pauses after K fresh units —
+ * the deterministic stand-in for `kill` that the CI crash/resume
+ * smoke uses (exit code 3 marks a paused, resumable campaign).
+ * `--serve` streams findings as they dedup, one line per new finding,
+ * in unit order.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
+#include <string>
 
 #include "fuzzer/orchestrator.h"
 #include "support/parse_num.h"
@@ -22,6 +35,9 @@
 using namespace ubfuzz;
 
 namespace {
+
+/** Exit code for a paused (incomplete but resumable) campaign. */
+constexpr int kExitPaused = 3;
 
 /**
  * Strict flag parsing via support::parseInt: "4O0" aborts instead of
@@ -42,12 +58,11 @@ parseIntArg(const char *what, const char *text, int min)
     return *v;
 }
 
-/** Same strict policy for 64-bit values: a step limit of zero would
- *  run nothing, so the minimum is one. */
+/** Same strict policy for 64-bit values (seed may be any uint64). */
 uint64_t
-parseU64Arg(const char *what, const char *text)
+parseU64Arg(const char *what, const char *text, uint64_t min)
 {
-    auto v = support::parseUint64(text, 1);
+    auto v = support::parseUint64(text, min);
     if (!v) {
         std::fprintf(stderr, "%s: invalid number '%s'\n", what, text);
         std::exit(2);
@@ -55,49 +70,19 @@ parseU64Arg(const char *what, const char *text)
     return *v;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+const char *
+requireValue(int argc, char **argv, int &i)
 {
-    fuzzer::CampaignConfig cfg;
-    cfg.seed = 1;
-    cfg.numSeeds = 25;
-    cfg.capPerKind = 3;
-    int positional = 0;
-    for (int i = 1; i < argc; i++) {
-        if (!std::strcmp(argv[i], "--jobs") || !std::strcmp(argv[i], "-j")) {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "--jobs requires a value\n");
-                return 2;
-            }
-            cfg.jobs = parseIntArg("--jobs", argv[++i], 0);
-        } else if (!std::strcmp(argv[i], "--step-limit")) {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "--step-limit requires a value\n");
-                return 2;
-            }
-            cfg.stepLimit = parseU64Arg("--step-limit", argv[++i]);
-        } else if (positional == 0) {
-            cfg.numSeeds = parseIntArg("numSeeds", argv[i], 1);
-            positional++;
-        } else if (positional == 1) {
-            if (!std::strcmp(argv[i], "music"))
-                cfg.source = fuzzer::SourceMode::Music;
-            else if (!std::strcmp(argv[i], "nosafe"))
-                cfg.source = fuzzer::SourceMode::CsmithNoSafe;
-            else if (!std::strcmp(argv[i], "juliet"))
-                cfg.source = fuzzer::SourceMode::Juliet;
-            positional++;
-        }
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", argv[i]);
+        std::exit(2);
     }
+    return argv[++i];
+}
 
-    std::printf("campaign: %d seeds, source=%s, jobs=%d, step limit %llu\n",
-                cfg.numSeeds, fuzzer::sourceModeName(cfg.source),
-                fuzzer::resolveJobs(cfg.jobs),
-                static_cast<unsigned long long>(cfg.stepLimit));
-    fuzzer::CampaignStats stats = fuzzer::runCampaign(cfg);
-
+void
+printStats(const fuzzer::CampaignStats &stats)
+{
     std::printf("\nUB programs tested:       %zu\n", stats.ubPrograms);
     std::printf("programs without UB:      %zu\n", stats.noUB);
     std::printf("non-triggering (skipped): %zu\n",
@@ -128,5 +113,171 @@ main(int argc, char **argv)
     }
     for (san::BugId id : stats.wrongReportBugs)
         std::printf("  [wrong-report] %s\n", san::bugInfo(id).name);
+    std::printf("finding digest:           %016llx\n",
+                static_cast<unsigned long long>(
+                    fuzzer::findingsDigest(stats)));
+}
+
+/** `campaign merge --store DIR`: fold a completed campaign's shard
+ *  journals into one result without re-running anything. */
+int
+runMerge(int argc, char **argv)
+{
+    std::string dir;
+    for (int i = 2; i < argc; i++) {
+        if (!std::strcmp(argv[i], "--store")) {
+            dir = requireValue(argc, argv, i);
+        } else {
+            std::fprintf(stderr, "merge: unknown argument '%s'\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    if (dir.empty()) {
+        std::fprintf(stderr, "merge requires --store DIR\n");
+        return 2;
+    }
+    campaign::MergeResult merged = campaign::mergeStore(dir);
+    if (!merged.ok) {
+        std::fprintf(stderr, "merge: %s\n", merged.error.c_str());
+        return 1;
+    }
+    std::printf("merged %zu units from %d shard journal(s) in %s\n",
+                merged.unitsMerged, merged.shardCount, dir.c_str());
+    std::printf("campaign seed: %llu, config hash %016llx\n",
+                static_cast<unsigned long long>(merged.campaignSeed),
+                static_cast<unsigned long long>(merged.configHash));
+    printStats(merged.stats);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && !std::strcmp(argv[1], "merge"))
+        return runMerge(argc, argv);
+
+    fuzzer::CampaignConfig cfg;
+    cfg.seed = 1;
+    cfg.numSeeds = 25;
+    cfg.capPerKind = 3;
+
+    std::string storeDir;
+    bool resume = false;
+    bool serve = false;
+    campaign::ShardSpec shard;
+    int maxUnits = -1;
+    int positional = 0;
+    for (int i = 1; i < argc; i++) {
+        if (!std::strcmp(argv[i], "--jobs") || !std::strcmp(argv[i], "-j")) {
+            cfg.jobs = parseIntArg("--jobs", requireValue(argc, argv, i), 0);
+        } else if (!std::strcmp(argv[i], "--step-limit")) {
+            // A step limit of zero would run nothing, so the minimum
+            // is one.
+            cfg.stepLimit =
+                parseU64Arg("--step-limit", requireValue(argc, argv, i), 1);
+        } else if (!std::strcmp(argv[i], "--seed")) {
+            cfg.seed =
+                parseU64Arg("--seed", requireValue(argc, argv, i), 0);
+        } else if (!std::strcmp(argv[i], "--cap-per-kind")) {
+            cfg.capPerKind = static_cast<size_t>(parseIntArg(
+                "--cap-per-kind", requireValue(argc, argv, i), 1));
+        } else if (!std::strcmp(argv[i], "--store")) {
+            storeDir = requireValue(argc, argv, i);
+        } else if (!std::strcmp(argv[i], "--resume")) {
+            resume = true;
+        } else if (!std::strcmp(argv[i], "--serve")) {
+            serve = true;
+        } else if (!std::strcmp(argv[i], "--shard")) {
+            const char *text = requireValue(argc, argv, i);
+            auto spec = support::parseShard(text);
+            if (!spec) {
+                std::fprintf(stderr,
+                             "--shard: invalid spec '%s' (want i/N "
+                             "with 1 <= i <= N, e.g. 2/4)\n",
+                             text);
+                return 2;
+            }
+            shard.index = spec->first;
+            shard.count = spec->second;
+        } else if (!std::strcmp(argv[i], "--max-units")) {
+            maxUnits =
+                parseIntArg("--max-units", requireValue(argc, argv, i), 0);
+        } else if (positional == 0) {
+            cfg.numSeeds = parseIntArg("numSeeds", argv[i], 1);
+            positional++;
+        } else if (positional == 1) {
+            if (!std::strcmp(argv[i], "music"))
+                cfg.source = fuzzer::SourceMode::Music;
+            else if (!std::strcmp(argv[i], "nosafe"))
+                cfg.source = fuzzer::SourceMode::CsmithNoSafe;
+            else if (!std::strcmp(argv[i], "juliet"))
+                cfg.source = fuzzer::SourceMode::Juliet;
+            positional++;
+        }
+    }
+    if (resume && storeDir.empty()) {
+        std::fprintf(stderr, "--resume requires --store DIR\n");
+        return 2;
+    }
+
+    std::unique_ptr<campaign::CampaignStore> store;
+    if (!storeDir.empty()) {
+        std::string error;
+        store = campaign::CampaignStore::open(
+            storeDir, campaign::manifestFor(cfg, shard), resume, &error);
+        if (!store) {
+            std::fprintf(stderr, "--store: %s\n", error.c_str());
+            return 2;
+        }
+    }
+
+    std::printf("campaign: %d seeds, source=%s, jobs=%d, step limit "
+                "%llu, shard %d/%d%s%s\n",
+                cfg.numSeeds, fuzzer::sourceModeName(cfg.source),
+                fuzzer::resolveJobs(cfg.jobs),
+                static_cast<unsigned long long>(cfg.stepLimit),
+                shard.index, shard.count,
+                store ? ", store " : "",
+                store ? storeDir.c_str() : "");
+
+    fuzzer::ServiceOptions opts;
+    opts.shard = shard;
+    opts.store = store.get();
+    opts.maxFreshUnits = maxUnits;
+    // Streaming mode: findings print the moment their unit folds —
+    // strict unit order, so the stream is identical run to run, and a
+    // replayed unit streams exactly what its live run once did.
+    std::set<fuzzer::FindingRecord> seen;
+    if (serve) {
+        opts.onUnitFolded = [&seen](int unit,
+                                    const fuzzer::CampaignStats &delta,
+                                    bool replayed) {
+            for (const fuzzer::FindingRecord &f : delta.findings) {
+                if (!seen.insert(f).second)
+                    continue;
+                std::printf("finding unit=%d%s kind=%s crash=[%s] "
+                            "missing=[%s] line=%d%s\n",
+                            unit, replayed ? " (replayed)" : "",
+                            ubgen::ubKindName(f.kind),
+                            f.crashing.str().c_str(),
+                            f.missing.str().c_str(), f.ubLoc.line,
+                            f.groundTruthBug ? " injected-bug" : "");
+            }
+        };
+    }
+
+    fuzzer::ServiceResult res = fuzzer::runCampaignService(cfg, opts);
+
+    std::printf("units: %d owned, %d replayed, %d run%s\n",
+                res.unitsOwned, res.unitsReplayed, res.unitsRun,
+                res.complete ? "" : " (paused)");
+    printStats(res.stats);
+    if (!res.complete) {
+        std::printf("campaign paused; rerun with --resume to continue\n");
+        return kExitPaused;
+    }
     return 0;
 }

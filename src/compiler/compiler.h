@@ -129,6 +129,9 @@ struct CompileStats
         specializations += o.specializations;
         traceExecutions += o.traceExecutions;
     }
+
+    friend bool operator==(const CompileStats &, const CompileStats &) =
+        default;
 };
 
 /**

@@ -139,8 +139,15 @@ unitRng(uint64_t campaignSeed, uint64_t index)
 class Campaign
 {
   public:
-    Campaign(const CampaignConfig &cfg, CorpusMemo *memo)
-        : cfg_(cfg), memo_(memo)
+    /** @p memoAdds, when given, collects the (key, delta) entries this
+     *  unit was the first to record in @p memo — the journalable form
+     *  of its memo contribution. */
+    Campaign(const CampaignConfig &cfg, CorpusMemo *memo,
+             std::vector<std::pair<
+                 CorpusKey, std::shared_ptr<const CampaignStats>>>
+                 *memoAdds = nullptr)
+        : cfg_(cfg), memo_(memo), memoAdds_(memoAdds),
+          codeCache_(cfg.codeCacheCap)
     {
     }
 
@@ -148,13 +155,25 @@ class Campaign
     CampaignStats
     runUnit(int index)
     {
+        runUnitInner(index);
+        // The unit's bytecode cache dissolves with it; fold its
+        // stop-admitting count into the unit's work counters so the
+        // campaign totals expose cap pressure.
+        stats_.exec.translationCapRejects += codeCache_.capRejects();
+        return std::move(stats_);
+    }
+
+  private:
+    void
+    runUnitInner(int index)
+    {
         if (cfg_.source == SourceMode::Juliet) {
             const corpus::JulietCase &c =
                 corpus::julietSuite()[static_cast<size_t>(index)];
             stats_.seeds++;
             auto prog = corpus::parseCase(c);
             classifyAndTest(std::move(prog));
-            return std::move(stats_);
+            return;
         }
         stats_.seeds++;
         Rng rng = unitRng(cfg_.seed, static_cast<uint64_t>(index));
@@ -239,12 +258,12 @@ class Campaign
           case SourceMode::Juliet:
             break;
         }
-        return std::move(stats_);
     }
 
-  private:
     CampaignConfig cfg_;
     CorpusMemo *memo_ = nullptr;
+    std::vector<std::pair<CorpusKey, std::shared_ptr<const CampaignStats>>>
+        *memoAdds_ = nullptr;
     CampaignStats stats_;
 
     /**
@@ -361,8 +380,21 @@ class Campaign
         testItemMatrix(std::move(item), ub_loc, cache, machine, delta);
         stats_.exec.merge(machine.stats());
         if (memo_ && cfg_.corpusDedup) {
-            memo_->insert(key,
-                          std::make_shared<const CampaignStats>(delta));
+            auto recorded = std::make_shared<const CampaignStats>(delta);
+            switch (memo_->insert(key, recorded)) {
+              case CorpusMemo::Insert::Inserted:
+                // This unit owns the entry: journal it so a resumed
+                // campaign re-populates the memo without re-running
+                // the matrix.
+                if (memoAdds_)
+                    memoAdds_->emplace_back(key, std::move(recorded));
+                break;
+              case CorpusMemo::Insert::AlreadyPresent:
+                break;
+              case CorpusMemo::Insert::CapFull:
+                stats_.exec.corpusCapRejects++;
+                break;
+            }
         }
         detail::mergeCampaignStats(stats_, std::move(delta));
     }
@@ -482,6 +514,16 @@ runCampaignUnit(const CampaignConfig &config, int index, CorpusMemo *memo)
     return Campaign(config, memo).runUnit(index);
 }
 
+UnitOutput
+runCampaignUnitRecorded(const CampaignConfig &config, int index,
+                        CorpusMemo *memo)
+{
+    UnitOutput out;
+    out.stats =
+        Campaign(config, memo, &out.memoAdds).runUnit(index);
+    return out;
+}
+
 void
 mergeCampaignStats(CampaignStats &into, CampaignStats &&from)
 {
@@ -559,6 +601,39 @@ findingsDigest(const CampaignStats &stats)
         mix(static_cast<uint64_t>(f.attributedBug + 1));
     }
     return h;
+}
+
+std::string
+statsInvariantViolation(const CampaignStats &s)
+{
+    auto mismatch = [](const char *what, size_t lhs, size_t rhs) {
+        return std::string(what) + ": " + std::to_string(lhs) +
+               " != " + std::to_string(rhs);
+    };
+    // One base lowering per productive seed (or per classified
+    // baseline program), plus one for every incremental fallback.
+    if (s.compile.lowerings !=
+        s.productiveSeeds() + s.compile.deltaFallbacks) {
+        return mismatch("lowerings != productive seeds + fallbacks",
+                        s.compile.lowerings,
+                        s.productiveSeeds() + s.compile.deltaFallbacks);
+    }
+    // Every interpreted execution resolves through a CodeCache exactly
+    // once: a flattening or a hit, never both, never neither.
+    if (s.exec.executions !=
+        s.exec.translations + s.exec.translationHits) {
+        return mismatch("executions != translations + hits",
+                        s.exec.executions,
+                        s.exec.translations + s.exec.translationHits);
+    }
+    // One differential machine per tested program; replayed duplicates
+    // build none.
+    if (s.exec.machinesBuilt + s.exec.corpusSkips != s.ubPrograms) {
+        return mismatch("machines built + corpus replays != ub programs",
+                        s.exec.machinesBuilt + s.exec.corpusSkips,
+                        s.ubPrograms);
+    }
+    return {};
 }
 
 CampaignStats

@@ -66,6 +66,17 @@ struct CampaignConfig
      * identically.
      */
     bool corpusDedup = true;
+    /**
+     * Entry caps of the campaign-wide corpus memo and the per-unit
+     * bytecode cache (defaults mirror CorpusMemo::kDefaultMaxEntries
+     * and vm::CodeCache::kDefaultMaxEntries). Both caches stop
+     * admitting when full and recompute instead, so caps bound memory
+     * without changing any logical result — tests shrink them to 4 and
+     * assert the digest and stats are bit-identical, with only the
+     * ExecStats cap-reject counters knowing the difference.
+     */
+    size_t corpusMemoCap = 16384;
+    size_t codeCacheCap = 1024;
 };
 
 /**
@@ -229,6 +240,12 @@ struct CampaignStats
     {
         return seeds - unprofiledSeeds;
     }
+
+    /** Exact structural equality, every field — what the campaign
+     *  store's replay tests compare (a journaled campaign must
+     *  reproduce the live struct, not just the digest). */
+    friend bool operator==(const CampaignStats &, const CampaignStats &) =
+        default;
 };
 
 /**
@@ -249,6 +266,21 @@ struct CampaignStats
 class CorpusMemo
 {
   public:
+    /** What CorpusMemo::insert did with the entry. */
+    enum class Insert : uint8_t {
+        Inserted,       ///< new key admitted
+        AlreadyPresent, ///< first insertion won earlier
+        CapFull,        ///< memo stopped admitting at its cap
+    };
+
+    /** Default memory bound: ~16k retained per-item deltas at most. */
+    static constexpr size_t kDefaultMaxEntries = 16384;
+
+    explicit CorpusMemo(size_t maxEntries = kDefaultMaxEntries)
+        : maxEntries_(maxEntries)
+    {
+    }
+
     /** The recorded delta for @p key, or nullptr. */
     std::shared_ptr<const CampaignStats>
     find(const CorpusKey &key) const
@@ -260,19 +292,25 @@ class CorpusMemo
 
     /**
      * Record @p delta for @p key; the first insertion wins, and the
-     * memo stops admitting new keys at kMaxEntries so a huge campaign
-     * cannot grow it without bound (an evicted-by-cap duplicate is
+     * memo stops admitting new keys at its cap so a huge campaign
+     * cannot grow it without bound (a refused-by-cap duplicate is
      * simply recomputed — identical results, a little less work
      * saved; the O(jobs) peak of the orchestrator's fold is intact).
+     * The return value tells the caller which case happened, so the
+     * campaign can journal its own contributions and count cap
+     * rejections.
      */
-    void
+    Insert
     insert(const CorpusKey &key,
            std::shared_ptr<const CampaignStats> delta)
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (map_.size() >= kMaxEntries)
-            return;
+        if (map_.count(key))
+            return Insert::AlreadyPresent;
+        if (map_.size() >= maxEntries_)
+            return Insert::CapFull;
         map_.emplace(key, std::move(delta));
+        return Insert::Inserted;
     }
 
     size_t
@@ -283,9 +321,7 @@ class CorpusMemo
     }
 
   private:
-    /** Memory bound: ~16k retained per-item deltas at most. */
-    static constexpr size_t kMaxEntries = 16384;
-
+    size_t maxEntries_;
     mutable std::mutex mu_;
     std::map<CorpusKey, std::shared_ptr<const CampaignStats>> map_;
 };
@@ -307,6 +343,20 @@ ubgen::UBKind kindOfReport(vm::ReportKind r);
  */
 uint64_t findingsDigest(const CampaignStats &stats);
 
+/**
+ * Check the cross-layer accounting invariants that must survive any
+ * combination of journal replay, resume, and shard merge (they are
+ * per-unit identities, so any in-order fold of unit deltas preserves
+ * them): `lowerings == productive seeds + delta fallbacks`,
+ * `executions == translations + translation hits`, and
+ * `machines built + corpus replays == ub programs`. Returns an empty
+ * string when all hold, else a description of the first violation —
+ * the campaign service panics on it after every replay-involved run,
+ * so stats-accounting drift on resume fails loudly instead of
+ * corrupting merged totals silently.
+ */
+std::string statsInvariantViolation(const CampaignStats &stats);
+
 namespace detail {
 
 /** Independent units a campaign shards over (seeds or Juliet cases). */
@@ -316,6 +366,24 @@ int campaignUnitCount(const CampaignConfig &config);
  *  @p memo is the campaign's shared corpus memo (may be null). */
 CampaignStats runCampaignUnit(const CampaignConfig &config, int index,
                               CorpusMemo *memo = nullptr);
+
+/**
+ * Everything one completed unit contributes, in journalable form: its
+ * stats delta plus the corpus-memo entries it was the first to record
+ * (so a resumed campaign can re-populate the memo and keep deduping
+ * against units it never re-ran).
+ */
+struct UnitOutput
+{
+    CampaignStats stats;
+    std::vector<std::pair<CorpusKey, std::shared_ptr<const CampaignStats>>>
+        memoAdds;
+};
+
+/** runCampaignUnit, additionally recording the unit's memo
+ *  contributions — the journaling entry point. */
+UnitOutput runCampaignUnitRecorded(const CampaignConfig &config,
+                                   int index, CorpusMemo *memo);
 
 /**
  * Fold @p from into @p into. Folding unit stats in increasing index

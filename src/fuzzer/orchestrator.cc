@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/diagnostics.h"
+
 namespace ubfuzz::fuzzer {
 
 int
@@ -17,70 +19,200 @@ resolveJobs(int requested)
     return hw ? static_cast<int>(hw) : 1;
 }
 
+namespace {
+
+/** One unit's outcome waiting at the fold frontier. */
+struct Slot
+{
+    CampaignStats stats;
+    bool replayed = false;
+};
+
+} // namespace
+
+ServiceResult
+runCampaignService(const CampaignConfig &config,
+                   const ServiceOptions &opts)
+{
+    const int units = detail::campaignUnitCount(config);
+    ServiceResult res;
+    UBF_ASSERT(opts.shard.count >= 1 && opts.shard.index >= 1 &&
+                   opts.shard.index <= opts.shard.count,
+               "invalid shard ", opts.shard.index, "/",
+               opts.shard.count);
+    if (opts.store) {
+        // The store was opened against some (config, shard); a caller
+        // handing us a journal for a different slice is a bug, not a
+        // recoverable condition.
+        UBF_ASSERT(opts.store->manifest().shard == opts.shard,
+                   "store shard does not match service shard");
+        UBF_ASSERT(opts.store->manifest().unitCount ==
+                       static_cast<uint32_t>(units < 0 ? 0 : units),
+                   "store unit count does not match campaign");
+    }
+    if (units <= 0) {
+        res.complete = true;
+        return res;
+    }
+
+    // The unit indices this shard owns, in increasing order. All
+    // folding below is positional within this list; `owned[p]` maps a
+    // position back to its campaign-wide unit index.
+    std::vector<int> owned;
+    for (int i = 0; i < units; i++)
+        if (opts.shard.owns(i))
+            owned.push_back(i);
+    res.unitsOwned = static_cast<int>(owned.size());
+    if (owned.empty()) {
+        res.complete = true;
+        return res;
+    }
+
+    // One corpus memo per campaign process: identical UB programs
+    // derived from different seeds replay the first test's recorded
+    // stats instead of re-running the matrix (bit-identical results
+    // either way — see CorpusMemo). A resumed run re-populates it from
+    // the journaled memo contributions of the replayed units, in unit
+    // order, so fresh units keep deduping against work this process
+    // never re-ran.
+    CorpusMemo memo(config.corpusMemoCap);
+    std::map<int, campaign::UnitRecord> replayed;
+    if (opts.store) {
+        replayed = opts.store->takeReplayed();
+        for (auto &[unit, rec] : replayed) {
+            for (auto &[key, delta] : rec.memoAdds) {
+                memo.insert(key, std::make_shared<const CampaignStats>(
+                                     std::move(delta)));
+            }
+        }
+    }
+    res.unitsReplayed = static_cast<int>(replayed.size());
+
+    // Completed units buffered until the fold frontier reaches them.
+    // Replayed units are pre-seeded (their deltas are already in
+    // memory from journal recovery, so peak memory is O(jobs +
+    // replayed), not O(units)); fresh units land as workers finish.
+    // Folding in strict position order is what keeps every resume /
+    // shard / jobs combination bit-identical to one sequential run.
+    std::map<size_t, Slot> pending;
+    size_t frontier = 0;
+    for (size_t p = 0; p < owned.size(); p++) {
+        auto it = replayed.find(owned[p]);
+        if (it != replayed.end())
+            pending.emplace(p, Slot{std::move(it->second.stats), true});
+    }
+
+    auto fold = [&] {
+        while (!pending.empty() && pending.begin()->first == frontier) {
+            Slot &slot = pending.begin()->second;
+            if (opts.onUnitFolded)
+                opts.onUnitFolded(owned[frontier], slot.stats,
+                                  slot.replayed);
+            detail::mergeCampaignStats(res.stats,
+                                       std::move(slot.stats));
+            pending.erase(pending.begin());
+            frontier++;
+        }
+    };
+
+    // Positions still to compute, in order, clipped to the fresh-unit
+    // budget (maxFreshUnits pauses the campaign deterministically: the
+    // first `toRun` fresh positions run, everything after stays for
+    // the next resume).
+    std::vector<size_t> fresh;
+    for (size_t p = 0; p < owned.size(); p++)
+        if (!pending.count(p))
+            fresh.push_back(p);
+    const size_t budget = opts.maxFreshUnits < 0
+                              ? fresh.size()
+                              : static_cast<size_t>(opts.maxFreshUnits);
+    const size_t toRun = std::min(budget, fresh.size());
+
+    // Run one fresh unit and journal it. Journaling happens at
+    // completion time (the store serializes appends internally), so a
+    // kill loses at most the units still computing — never a completed
+    // one — and the journal's record order is irrelevant: each record
+    // carries its unit index and replay folds by index.
+    auto runOne = [&](size_t p) {
+        int unit = owned[p];
+        detail::UnitOutput out =
+            detail::runCampaignUnitRecorded(config, unit, &memo);
+        if (opts.store) {
+            campaign::UnitRecord rec;
+            rec.unit = unit;
+            rec.stats = out.stats;
+            rec.memoAdds.reserve(out.memoAdds.size());
+            for (auto &[key, delta] : out.memoAdds)
+                rec.memoAdds.emplace_back(key, *delta);
+            opts.store->append(rec);
+        }
+        return std::move(out.stats);
+    };
+
+    int jobs = resolveJobs(config.jobs);
+    if (jobs > static_cast<int>(toRun))
+        jobs = static_cast<int>(toRun);
+
+    if (jobs <= 1) {
+        // Sequential: fold any replayed prefix, then the frontier
+        // always points at the next fresh position.
+        size_t freshDone = 0;
+        fold();
+        while (frontier < owned.size() && freshDone < toRun) {
+            pending.emplace(frontier, Slot{runOne(frontier), false});
+            freshDone++;
+            fold();
+        }
+        res.unitsRun = static_cast<int>(freshDone);
+    } else {
+        // Workers steal fresh positions from a shared cursor and run
+        // each unit on a private accumulator — no locks on the hot
+        // path. A completed unit is folded into the total in strict
+        // position order under the fold mutex.
+        std::atomic<size_t> cursor{0};
+        std::mutex foldMutex;
+        auto work = [&] {
+            for (;;) {
+                size_t k =
+                    cursor.fetch_add(1, std::memory_order_relaxed);
+                if (k >= toRun)
+                    return;
+                size_t p = fresh[k];
+                CampaignStats stats = runOne(p);
+                std::lock_guard<std::mutex> lock(foldMutex);
+                pending.emplace(p, Slot{std::move(stats), false});
+                fold();
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<size_t>(jobs));
+        for (int w = 0; w < jobs; w++)
+            pool.emplace_back(work);
+        for (std::thread &t : pool)
+            t.join();
+        // Drain any replayed tail (and handle the all-replayed case,
+        // where no worker ever folds).
+        fold();
+        res.unitsRun = static_cast<int>(toRun);
+    }
+
+    res.complete = frontier == owned.size();
+    if (res.complete && opts.store && res.unitsReplayed > 0) {
+        // Stats-accounting drift on resume fails loudly: the merged
+        // (replayed + fresh) totals must satisfy the same per-unit
+        // accounting identities a single-process run does.
+        std::string violation = statsInvariantViolation(res.stats);
+        UBF_ASSERT(violation.empty(),
+                   "journal replay drifted from live accounting: ",
+                   violation);
+    }
+    return res;
+}
+
 CampaignStats
 runCampaignParallel(const CampaignConfig &config)
 {
-    const int units = detail::campaignUnitCount(config);
-    CampaignStats total;
-    if (units <= 0)
-        return total;
-
-    int jobs = resolveJobs(config.jobs);
-    if (jobs > units)
-        jobs = units;
-
-    // One corpus memo per campaign: identical UB programs derived from
-    // different seeds replay the first test's recorded stats instead of
-    // re-running the matrix. Sequential runs catch every cross-seed
-    // duplicate; sharded runs catch every one not being computed
-    // concurrently — either way the replayed delta is bit-identical to
-    // recomputation, so the results never depend on `jobs`.
-    CorpusMemo memo;
-
-    if (jobs <= 1) {
-        for (int i = 0; i < units; i++) {
-            detail::mergeCampaignStats(
-                total, detail::runCampaignUnit(config, i, &memo));
-        }
-        return total;
-    }
-
-    // Workers steal unit indices from a shared cursor and run each
-    // unit on a private accumulator — no locks on the hot path. A
-    // completed unit is folded into `total` in strict unit order: the
-    // frontier advances as soon as the next unit lands, and at most
-    // the out-of-order window (~jobs units) is ever buffered, so peak
-    // memory stays O(jobs) rather than O(units). Unit-order folding
-    // is what keeps the result bit-identical to a sequential run.
-    std::atomic<int> cursor{0};
-    std::mutex foldMutex;
-    std::map<int, CampaignStats> pending;
-    int frontier = 0;
-    auto work = [&] {
-        for (;;) {
-            int i = cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= units)
-                return;
-            CampaignStats stats =
-                detail::runCampaignUnit(config, i, &memo);
-            std::lock_guard<std::mutex> lock(foldMutex);
-            pending.emplace(i, std::move(stats));
-            while (!pending.empty() &&
-                   pending.begin()->first == frontier) {
-                detail::mergeCampaignStats(
-                    total, std::move(pending.begin()->second));
-                pending.erase(pending.begin());
-                frontier++;
-            }
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(jobs));
-    for (int w = 0; w < jobs; w++)
-        pool.emplace_back(work);
-    for (std::thread &t : pool)
-        t.join();
-    return total;
+    return runCampaignService(config, ServiceOptions{}).stats;
 }
 
 } // namespace ubfuzz::fuzzer

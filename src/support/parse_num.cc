@@ -70,4 +70,22 @@ parseInt(std::string_view text, int min, int max)
     return static_cast<int>(*v);
 }
 
+std::optional<std::pair<int, int>>
+parseShard(std::string_view text)
+{
+    size_t slash = text.find('/');
+    if (slash == std::string_view::npos ||
+        text.find('/', slash + 1) != std::string_view::npos)
+        return std::nullopt;
+    // Parse the count first so the index can be windowed to [1, count]
+    // in one parseInt call — "5/4" fails the same way "0/4" does.
+    auto count = parseInt(text.substr(slash + 1), 1);
+    if (!count)
+        return std::nullopt;
+    auto index = parseInt(text.substr(0, slash), 1, *count);
+    if (!index)
+        return std::nullopt;
+    return std::make_pair(*index, *count);
+}
+
 } // namespace ubfuzz::support

@@ -21,6 +21,7 @@
 #include <limits>
 #include <optional>
 #include <string_view>
+#include <utility>
 
 namespace ubfuzz::support {
 
@@ -42,6 +43,15 @@ std::optional<int>
 parseInt(std::string_view text,
          int min = std::numeric_limits<int>::min(),
          int max = std::numeric_limits<int>::max());
+
+/**
+ * Parse a 1-based shard spec "i/N" (the `--shard` flag): exactly one
+ * '/', both sides strict decimal integers, 1 <= i <= N. Everything
+ * else — "0/4" (shards are 1-based), "5/4" (index past the count),
+ * "2/0" (no shards), "2/", "/4", "2/4/8", "2x4" — is nullopt. Returns
+ * {index, count}.
+ */
+std::optional<std::pair<int, int>> parseShard(std::string_view text);
 
 } // namespace ubfuzz::support
 

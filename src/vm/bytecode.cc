@@ -351,8 +351,10 @@ CodeCache::translation(const ir::Module &m, const ir::BinaryKey &key,
     if (wasHit)
         *wasHit = false;
     auto prog = std::make_shared<const bc::Program>(bc::translate(m));
-    if (map_.size() < kMaxEntries)
+    if (map_.size() < maxEntries_)
         map_.emplace(key, prog);
+    else
+        capRejects_++;
     return prog;
 }
 

@@ -223,7 +223,14 @@ Program translate(const ir::Module &m);
 class CodeCache
 {
   public:
-    CodeCache() = default;
+    /** Default memory bound; tests shrink it to prove results are
+     *  cap-independent (see CampaignConfig::codeCacheCap). */
+    static constexpr size_t kDefaultMaxEntries = 1024;
+
+    explicit CodeCache(size_t maxEntries = kDefaultMaxEntries)
+        : maxEntries_(maxEntries)
+    {
+    }
     CodeCache(const CodeCache &) = delete;
     CodeCache &operator=(const CodeCache &) = delete;
 
@@ -240,9 +247,15 @@ class CodeCache
 
     size_t size() const { return map_.size(); }
 
+    /** Translations not retained because the cache was full (the
+     *  stop-admitting counter; the campaign folds it into
+     *  vm::ExecStats::translationCapRejects per unit). */
+    size_t capRejects() const { return capRejects_; }
+
   private:
     /** Memory bound: translations are retained per distinct binary. */
-    static constexpr size_t kMaxEntries = 1024;
+    size_t maxEntries_;
+    size_t capRejects_ = 0;
 
     std::map<ir::BinaryKey, std::shared_ptr<const bc::Program>> map_;
 };

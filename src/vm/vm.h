@@ -156,6 +156,21 @@ struct ExecStats
      * corpus dedup). Counted by the fuzzer, not the machine.
      */
     size_t corpusSkips = 0;
+    /**
+     * Corpus-memo insertions refused because the memo had stopped
+     * admitting at its entry cap (fuzzer::CorpusMemo never evicts; a
+     * full memo recomputes duplicates instead). Counted by the fuzzer.
+     * Like every other work counter here, caps change only this — the
+     * cap-independence of all logical results is asserted by
+     * test_orchestrator's TinyCapsAreBitIdentical.
+     */
+    size_t corpusCapRejects = 0;
+    /**
+     * Translations handed out but not retained because the CodeCache
+     * had stopped admitting at its entry cap (a later run of the same
+     * binary re-flattens instead of hitting).
+     */
+    size_t translationCapRejects = 0;
 
     void
     merge(const ExecStats &o)
@@ -167,7 +182,12 @@ struct ExecStats
         translationHits += o.translationHits;
         dedupSkips += o.dedupSkips;
         corpusSkips += o.corpusSkips;
+        corpusCapRejects += o.corpusCapRejects;
+        translationCapRejects += o.translationCapRejects;
     }
+
+    friend bool operator==(const ExecStats &, const ExecStats &) =
+        default;
 };
 
 /**

@@ -70,6 +70,26 @@ TEST(ParseNum, EnforcesInclusiveWindows)
     EXPECT_EQ(support::parseUint64("0", 1), std::nullopt);
 }
 
+TEST(ParseShard, AcceptsOneBasedSlices)
+{
+    EXPECT_EQ(support::parseShard("1/1"), std::make_pair(1, 1));
+    EXPECT_EQ(support::parseShard("2/4"), std::make_pair(2, 4));
+    EXPECT_EQ(support::parseShard("4/4"), std::make_pair(4, 4));
+    EXPECT_EQ(support::parseShard("10/128"), std::make_pair(10, 128));
+}
+
+TEST(ParseShard, RejectsMalformedSlices)
+{
+    // Shards are 1-based and the index must fit the count; everything
+    // that is not exactly "i/N" with 1 <= i <= N is a usage error.
+    for (const char *bad :
+         {"0/4", "5/4", "2/0", "0/0", "-1/4", "2/-4", "2/", "/4", "/",
+          "", "2", "2/4/8", "2x4", "a/4", "2/b", "2 /4", "2/ 4",
+          "+2/4", "99999999999/4", "2/99999999999"}) {
+        EXPECT_EQ(support::parseShard(bad), std::nullopt) << bad;
+    }
+}
+
 TEST(Rng, DeterministicAndBounded)
 {
     Rng a(42), b(42);
