@@ -30,6 +30,7 @@
 #include "ir/lowering.h"
 #include "oracle/oracle.h"
 #include "support/parse_num.h"
+#include "vm/bytecode.h"
 #include "vm/vm.h"
 
 using namespace ubfuzz;
@@ -109,10 +110,76 @@ main(int argc, char **argv)
     bench::rule();
     bench::header("dispatch cost (struct-walking vs bytecode, silent run)");
     // The silent-run configuration is the campaign's hot loop: no
-    // tracing, no profiling, no ground truth. A step-heavy program so
+    // tracing, no profiling, no ground truth. Step-heavy programs so
     // the per-step dispatch cost dominates per-run setup; same binary,
-    // same steps — only the interpreter differs.
-    auto loopProg = frontend::parseOrDie(R"(int a[64];
+    // same steps — only the interpreter differs. Two shapes: an
+    // array-crunching loop (Load+Bin / Bin+Store / Cmp+Br pairs) and a
+    // call/branch-heavy workload, so superinstruction coverage is
+    // measured on more than one pairing profile. Each fast machine
+    // shares a default CodeCache: the first run translates at the
+    // baseline tier, the second quickens to the fused tier, and the
+    // timed runs all execute fused records.
+    auto measureWorkload = [&](const char *name, const char *src) {
+        auto prog = frontend::parseOrDie(src);
+        ast::PrintedProgram printed2 = ast::printProgram(*prog);
+        ir::Module mod = ir::lowerProgram(*prog, printed2.map);
+        vm::Machine refMachine;
+        vm::ExecResult refRes = refMachine.runReference(mod);
+        vm::CodeCache cache;
+        vm::Machine fastMachine(&cache);
+        vm::ExecResult fastRes = fastMachine.run(mod);
+        if (fastRes.checksum != refRes.checksum ||
+            fastRes.steps != refRes.steps) {
+            std::fprintf(stderr,
+                         "FAIL: %s: bytecode run diverged from the "
+                         "reference interpreter\n",
+                         name);
+            std::exit(1);
+        }
+        int dispatchRuns = std::max(10, runs / 10);
+        auto t1 = std::chrono::steady_clock::now();
+        for (int i = 0; i < dispatchRuns; i++)
+            refMachine.runReference(mod);
+        double refSecs = secondsSince(t1);
+        t1 = std::chrono::steady_clock::now();
+        for (int i = 0; i < dispatchRuns; i++)
+            fastMachine.run(mod);
+        double fastSecs = secondsSince(t1);
+        double stepsTotal = static_cast<double>(refRes.steps) *
+                            static_cast<double>(dispatchRuns);
+        double refNs = refSecs * 1e9 / stepsTotal;
+        double fastNs = fastSecs * 1e9 / stepsTotal;
+        std::printf("-- workload: %s --\n", name);
+        std::printf("steps/exec:       %llu\n",
+                    static_cast<unsigned long long>(refRes.steps));
+        std::printf("struct-walking:   %8.2f ns/step\n", refNs);
+        std::printf("bytecode:         %8.2f ns/step  (%.2fx)\n", fastNs,
+                    fastNs > 0 ? refNs / fastNs : 0.0);
+        std::printf("translations:     %zu (hits: %zu, for %zu "
+                    "bytecode executions)\n",
+                    fastMachine.stats().translations,
+                    fastMachine.stats().translationHits,
+                    fastMachine.stats().executions);
+        vm::bc::Program fused = vm::bc::translate(mod, vm::bc::kTierFused);
+        std::printf("fused records:    %u of %zu (%.1f%% of records)\n",
+                    fused.fusedRecords, fused.code.size(),
+                    100.0 * fused.fusedRecords / fused.code.size());
+        std::printf("quickened:        %zu translation(s)\n",
+                    cache.quickenedTranslations());
+        if (fused.fusedRecords == 0) {
+            std::fprintf(stderr,
+                         "FAIL: %s: fusion pass found no pairs\n", name);
+            std::exit(1);
+        }
+        if (cache.quickenedTranslations() == 0 ||
+            cache.fusedRecords() != fused.fusedRecords) {
+            std::fprintf(stderr,
+                         "FAIL: %s: hot binary was not quickened\n",
+                         name);
+            std::exit(1);
+        }
+    };
+    measureWorkload("array loop", R"(int a[64];
 int helper(int x) {
     return x * 3 + 1;
 }
@@ -128,41 +195,35 @@ int main(void) {
     return (int)(s % 256l);
 }
 )");
-    ast::PrintedProgram loopPrinted = ast::printProgram(*loopProg);
-    ir::Module loopMod = ir::lowerProgram(*loopProg, loopPrinted.map);
-    vm::Machine refMachine;
-    vm::ExecResult refRes = refMachine.runReference(loopMod);
-    vm::Machine fastMachine;
-    vm::ExecResult fastRes = fastMachine.run(loopMod);
-    if (fastRes.checksum != refRes.checksum ||
-        fastRes.steps != refRes.steps) {
-        std::fprintf(stderr, "FAIL: bytecode run diverged from the "
-                             "reference interpreter\n");
-        return 1;
+    measureWorkload("call/branch", R"(int collatz(int n) {
+    int c = 0;
+    while (n != 1 && c < 200) {
+        if ((n % 2) == 0) {
+            n = n / 2;
+        } else {
+            n = 3 * n + 1;
+        }
+        c += 1;
     }
-    int dispatchRuns = std::max(10, runs / 10);
-    t0 = std::chrono::steady_clock::now();
-    for (int i = 0; i < dispatchRuns; i++)
-        refMachine.runReference(loopMod);
-    double refSecs = secondsSince(t0);
-    t0 = std::chrono::steady_clock::now();
-    for (int i = 0; i < dispatchRuns; i++)
-        fastMachine.run(loopMod);
-    double fastSecs = secondsSince(t0);
-    double stepsTotal = static_cast<double>(refRes.steps) *
-                        static_cast<double>(dispatchRuns);
-    double refNs = refSecs * 1e9 / stepsTotal;
-    double fastNs = fastSecs * 1e9 / stepsTotal;
-    std::printf("steps/exec:       %llu\n",
-                static_cast<unsigned long long>(refRes.steps));
-    std::printf("struct-walking:   %8.2f ns/step\n", refNs);
-    std::printf("bytecode:         %8.2f ns/step  (%.2fx)\n", fastNs,
-                fastNs > 0 ? refNs / fastNs : 0.0);
-    std::printf("translations:     %zu (hits: %zu, for %zu "
-                "bytecode executions)\n",
-                fastMachine.stats().translations,
-                fastMachine.stats().translationHits,
-                fastMachine.stats().executions);
+    return c;
+}
+int depth2(int x) {
+    return collatz(x) + 1;
+}
+int main(void) {
+    long s = 0l;
+    for (int i = 1; i < 4000; i += 1) {
+        int v = (i % 97) + 2;
+        if ((i % 3) == 0) {
+            s += (long)collatz(v);
+        } else {
+            s += (long)depth2(v + 1);
+        }
+    }
+    __checksum(s);
+    return (int)(s % 256l);
+}
+)");
 
     bench::rule();
     bench::header("one differential matrix through an ExecutionPlan");

@@ -158,8 +158,13 @@ class Campaign
         runUnitInner(index);
         // The unit's bytecode cache dissolves with it; fold its
         // stop-admitting count into the unit's work counters so the
-        // campaign totals expose cap pressure.
+        // campaign totals expose cap pressure, and its quickening
+        // counters so the totals expose how much of the execution load
+        // ran on fused translations.
         stats_.exec.translationCapRejects += codeCache_.capRejects();
+        stats_.exec.quickenedTranslations +=
+            codeCache_.quickenedTranslations();
+        stats_.exec.fusedRecords += codeCache_.fusedRecords();
         return std::move(stats_);
     }
 

@@ -345,6 +345,22 @@ struct BinaryKey
     }
 };
 
+/**
+ * Hasher for unordered containers keyed by BinaryKey. The key already
+ * carries a 64-bit FNV-1a of the serialized binary, so this just folds
+ * the length in (one multiply by the golden-ratio constant) instead of
+ * re-hashing anything.
+ */
+struct BinaryKeyHash
+{
+    size_t
+    operator()(const BinaryKey &k) const noexcept
+    {
+        return static_cast<size_t>(
+            k.hash ^ (k.len * 0x9E3779B97F4A7C15ULL));
+    }
+};
+
 /** The BinaryKey of @p m (serializes executionKey(m) once). */
 BinaryKey binaryKey(const Module &m);
 

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <string>
+#include <unordered_map>
 
 namespace ubfuzz::oracle {
 
@@ -30,8 +31,12 @@ ExecutionPlan::compile(compiler::CompilationCache &cache,
     // than the multi-KB key itself, the same collision-risk tradeoff
     // the corpus dedup makes. The keys are retained: run() hands them
     // to the machine so the VM's code cache reuses this serialization
-    // pass instead of re-walking every module per execution.
-    std::map<ir::BinaryKey, size_t> firstWithKey;
+    // pass instead of re-walking every module per execution. Unordered
+    // on purpose: the key carries its own FNV-1a hash, and insertion
+    // order (not key order) decides aliasing, so lookup is O(1) with
+    // no ordered full-key compares.
+    std::unordered_map<ir::BinaryKey, size_t, ir::BinaryKeyHash>
+        firstWithKey;
     for (const compiler::CompilerConfig &cfg : configs) {
         compiler::Binary binary = cache.compile(cfg);
         ConfigOutcome outcome;

@@ -172,6 +172,8 @@ serialize(ByteWriter &w, const fuzzer::CampaignStats &s)
     w.u64(s.exec.corpusSkips);
     w.u64(s.exec.corpusCapRejects);
     w.u64(s.exec.translationCapRejects);
+    w.u64(s.exec.quickenedTranslations);
+    w.u64(s.exec.fusedRecords);
 
     w.u64(s.execTimeouts);
     w.u64(s.timeoutExcluded);
@@ -251,6 +253,8 @@ deserialize(ByteReader &r, fuzzer::CampaignStats &s)
     s.exec.corpusSkips = r.u64();
     s.exec.corpusCapRejects = r.u64();
     s.exec.translationCapRejects = r.u64();
+    s.exec.quickenedTranslations = r.u64();
+    s.exec.fusedRecords = r.u64();
 
     s.execTimeouts = r.u64();
     s.timeoutExcluded = r.u64();

@@ -1,5 +1,6 @@
 #include "vm/vm.h"
 
+#include <algorithm>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -221,6 +222,145 @@ canonFast(uint64_t raw, int bits, bool sgn)
     return raw;
 }
 
+/**
+ * Scalar memory access with the width dispatched over the sizes the IR
+ * actually uses. Same bytes as memcpy(&v, p, min(size, 8)) — but a
+ * variable-length memcpy compiles to a libc call inside the two
+ * hottest handlers, while these collapse to a single fixed-width move
+ * per case.
+ */
+inline uint64_t
+loadScalar(const uint8_t *p, uint64_t size)
+{
+    switch (size) {
+      case 1: {
+        return *p;
+      }
+      case 2: {
+        uint16_t v;
+        std::memcpy(&v, p, 2);
+        return v;
+      }
+      case 4: {
+        uint32_t v;
+        std::memcpy(&v, p, 4);
+        return v;
+      }
+      case 8: {
+        uint64_t v;
+        std::memcpy(&v, p, 8);
+        return v;
+      }
+      default: {
+        uint64_t v = 0;
+        std::memcpy(&v, p, std::min<uint64_t>(size, 8));
+        return v;
+      }
+    }
+}
+
+/**
+ * ir::evalBinary inlined for the dispatch loop: operands arrive
+ * pre-canonicalized (fastBin runs canonFast first) and the result is
+ * returned raw — the caller canonicalizes the destination write — so
+ * the entry/exit canonicalizations and the scalarBits/scalarSigned
+ * kind switches of the out-of-line version drop out. The arithmetic
+ * itself must mirror ir::evalBinary exactly; the bytecode parity suite
+ * compares against the reference interpreter, which still calls it.
+ */
+inline uint64_t
+evalBinFast(ir::BinOp op, int bits, bool sgn, uint64_t a, uint64_t b,
+            bool &trapped)
+{
+    trapped = false;
+    const uint64_t mask = bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+    switch (op) {
+      case ir::BinOp::Add: return a + b;
+      case ir::BinOp::Sub: return a - b;
+      case ir::BinOp::Mul: return a * b;
+      case ir::BinOp::Div:
+      case ir::BinOp::Rem: {
+        if (b == 0) {
+            trapped = true;
+            return 0;
+        }
+        if (sgn) {
+            int64_t sa = static_cast<int64_t>(a);
+            int64_t sb = static_cast<int64_t>(b);
+            int64_t minv = bits >= 64 ? INT64_MIN : -(1LL << (bits - 1));
+            if (sa == minv && sb == -1) {
+                trapped = true;
+                return 0;
+            }
+            return static_cast<uint64_t>(op == ir::BinOp::Div ? sa / sb
+                                                              : sa % sb);
+        }
+        uint64_t ua = a & mask, ub = b & mask;
+        return op == ir::BinOp::Div ? ua / ub : ua % ub;
+      }
+      case ir::BinOp::Shl:
+      case ir::BinOp::Shr: {
+        uint64_t count = b & (bits == 64 ? 63 : 31);
+        if (op == ir::BinOp::Shl)
+            return a << count;
+        if (sgn)
+            return static_cast<uint64_t>(static_cast<int64_t>(a) >>
+                                         count);
+        return (a & mask) >> count;
+      }
+      case ir::BinOp::BitAnd: return a & b;
+      case ir::BinOp::BitOr: return a | b;
+      case ir::BinOp::BitXor: return a ^ b;
+      case ir::BinOp::Lt:
+        return sgn ? static_cast<int64_t>(a) < static_cast<int64_t>(b)
+                   : (a & mask) < (b & mask);
+      case ir::BinOp::Le:
+        return sgn ? static_cast<int64_t>(a) <= static_cast<int64_t>(b)
+                   : (a & mask) <= (b & mask);
+      case ir::BinOp::Gt:
+        return sgn ? static_cast<int64_t>(a) > static_cast<int64_t>(b)
+                   : (a & mask) > (b & mask);
+      case ir::BinOp::Ge:
+        return sgn ? static_cast<int64_t>(a) >= static_cast<int64_t>(b)
+                   : (a & mask) >= (b & mask);
+      case ir::BinOp::Eq: return a == b;
+      case ir::BinOp::Ne: return a != b;
+      case ir::BinOp::LAnd:
+      case ir::BinOp::LOr:
+        UBF_PANIC("logical ops never reach evalBinFast");
+    }
+    return 0;
+}
+
+inline void
+storeScalar(uint8_t *p, uint64_t v, uint64_t size)
+{
+    switch (size) {
+      case 1: {
+        *p = static_cast<uint8_t>(v);
+        break;
+      }
+      case 2: {
+        const uint16_t t = static_cast<uint16_t>(v);
+        std::memcpy(p, &t, 2);
+        break;
+      }
+      case 4: {
+        const uint32_t t = static_cast<uint32_t>(v);
+        std::memcpy(p, &t, 4);
+        break;
+      }
+      case 8: {
+        std::memcpy(p, &v, 8);
+        break;
+      }
+      default: {
+        std::memcpy(p, &v, std::min<uint64_t>(size, 8));
+        break;
+      }
+    }
+}
+
 } // namespace
 
 /**
@@ -330,6 +470,7 @@ struct Machine::Impl
         globalObjIds_.clear();
         objects_.clear();
         byBase_.clear();
+        stackObjs_.clear();
         memProv_.clear();
         frames_.clear();
         bframeTop_ = 0;
@@ -338,6 +479,7 @@ struct Machine::Impl
         curLoc_ = SourceLoc{};
         result_ = ExecResult{};
         done_ = false;
+        poisonDirty_ = false;
     }
 
     //===------------------------------------------------------------===//
@@ -403,7 +545,10 @@ struct Machine::Impl
         obj.kind = kind;
         obj.declId = declId;
         objects_.push_back(obj);
-        byBase_[base] = obj.id;
+        if (kind == ObjectKind::Stack)
+            stackObjs_.emplace_back(base, obj.id);
+        else
+            byBase_[base] = obj.id;
         return obj.id;
     }
 
@@ -417,6 +562,16 @@ struct Machine::Impl
     Object *
     resolveObject(uint64_t addr)
     {
+        if (addr >= kStackBase && addr < kHeapBase) {
+            auto it = std::upper_bound(
+                stackObjs_.begin(), stackObjs_.end(), addr,
+                [](uint64_t a, const std::pair<uint64_t, uint64_t> &p) {
+                    return a < p.first;
+                });
+            if (it == stackObjs_.begin())
+                return nullptr;
+            return objectById(std::prev(it)->second);
+        }
         auto it = byBase_.upper_bound(addr);
         if (it == byBase_.begin())
             return nullptr;
@@ -429,9 +584,29 @@ struct Machine::Impl
         return obj;
     }
 
+    /** Drop a popped frame's objects from the stack-object index (the
+     *  suffix of stackObjs_, pushed most recently). */
+    void
+    unregisterFrameObjects(const std::vector<uint64_t> &objIds)
+    {
+        for (size_t i = objIds.size(); i--;) {
+            Object &obj = objects_[objIds[i] - 1];
+            obj.state = ObjectState::ScopeEnded;
+            if (!stackObjs_.empty() &&
+                stackObjs_.back().second == objIds[i])
+                stackObjs_.pop_back();
+        }
+    }
+
     void
     setPoison(uint64_t addr, uint64_t size, uint8_t code)
     {
+        // Clearing an all-clear plane (frame pops and lifetime starts
+        // in uninstrumented runs) is a no-op; skip the memset.
+        if (code == kPoisonNone && !poisonDirty_)
+            return;
+        if (code != kPoisonNone)
+            poisonDirty_ = true;
         Segment *seg = segmentFor(addr, size);
         if (!seg)
             return;
@@ -592,13 +767,7 @@ struct Machine::Impl
     {
         Frame &f = frames_.back();
         // Retire this frame's objects.
-        for (uint64_t id : f.objIds) {
-            Object &obj = objects_[id - 1];
-            auto it = byBase_.find(obj.base);
-            if (it != byBase_.end() && it->second == id)
-                byBase_.erase(it);
-            obj.state = ObjectState::ScopeEnded;
-        }
+        unregisterFrameObjects(f.objIds);
         // Clear poisoning over the whole frame (stack reuse is clean).
         uint64_t lo = f.savedSp, hi = sp_;
         if (hi > lo) {
@@ -1146,9 +1315,8 @@ struct Machine::Impl
             trap(TrapKind::Segfault, inst.loc);
             return;
         }
-        uint64_t raw = 0;
-        std::memcpy(&raw, seg->mem.data() + (addr - seg->base),
-                    std::min<uint64_t>(size, 8));
+        const uint64_t raw =
+            loadScalar(seg->mem.data() + (addr - seg->base), size);
         uint8_t sh = 0;
         if (trackShadow_) {
             for (uint64_t i = 0; i < size; i++)
@@ -1187,8 +1355,7 @@ struct Machine::Impl
         uint64_t v = val(inst.b);
         if (seg == &stack_)
             noteStackWrite(addr + size);
-        std::memcpy(seg->mem.data() + (addr - seg->base), &v,
-                    std::min<uint64_t>(size, 8));
+        storeScalar(seg->mem.data() + (addr - seg->base), v, size);
         if (trackShadow_)
             setMsanShadow(addr, size, shadow(inst.b));
         if (opts_.groundTruth) {
@@ -1495,13 +1662,7 @@ struct Machine::Impl
     bcPopFrame(uint64_t retValue, uint8_t retShadow, uint64_t retProv)
     {
         BFrame &f = bframes_[bframeTop_ - 1];
-        for (uint64_t id : f.objIds) {
-            Object &obj = objects_[id - 1];
-            auto it = byBase_.find(obj.base);
-            if (it != byBase_.end() && it->second == id)
-                byBase_.erase(it);
-            obj.state = ObjectState::ScopeEnded;
-        }
+        unregisterFrameObjects(f.objIds);
         uint64_t lo = f.savedSp, hi = sp_;
         if (hi > lo) {
             setPoison(lo, hi - lo, kPoisonNone);
@@ -1594,7 +1755,7 @@ struct Machine::Impl
             }
         }
         bool trapped = false;
-        uint64_t r = ir::evalBinary(bi.binOp, bi.kind, a, b, trapped);
+        uint64_t r = evalBinFast(bi.binOp, bits, sgn, a, b, trapped);
         if (trapped) {
             trap(TrapKind::DivByZero, bp_->locs[pc]);
             return;
@@ -1681,9 +1842,8 @@ struct Machine::Impl
             trap(TrapKind::Segfault, bp_->locs[pc]);
             return;
         }
-        uint64_t raw = 0;
-        std::memcpy(&raw, seg->mem.data() + (addr - seg->base),
-                    std::min<uint64_t>(size, 8));
+        const uint64_t raw =
+            loadScalar(seg->mem.data() + (addr - seg->base), size);
         uint8_t sh = 0;
         if (mShadow<M>()) {
             for (uint64_t i = 0; i < size; i++)
@@ -1730,8 +1890,7 @@ struct Machine::Impl
         uint64_t v = BImm ? bi.y : f.regs[bi.b];
         if (seg == &stack_)
             noteStackWrite(addr + size);
-        std::memcpy(seg->mem.data() + (addr - seg->base), &v,
-                    std::min<uint64_t>(size, 8));
+        storeScalar(seg->mem.data() + (addr - seg->base), v, size);
         if (mShadow<M>())
             setMsanShadow(addr, size, BImm ? 0 : f.rsh[bi.b]);
         if (mGround<M>()) {
@@ -1830,8 +1989,28 @@ struct Machine::Impl
 #undef UBFUZZ_BC_LABEL
         };
 #define VM_CASE(name) H_##name
-#define VM_NEXT() goto vm_dispatch
-        goto vm_dispatch;
+// Replicated dispatch: every handler ends with its *own* copy of the
+// step preamble and indirect jump instead of funneling through one
+// shared dispatch point. One jump site per handler lets the branch
+// predictor learn per-opcode successor patterns — the classic
+// direct-threading win on top of the label table itself.
+#define VM_NEXT()                                                      \
+    do {                                                               \
+        if (done_)                                                     \
+            goto vm_out;                                               \
+        if (steps >= limit) {                                          \
+            result_.kind = ExecResult::Kind::Timeout;                  \
+            goto vm_out;                                               \
+        }                                                              \
+        bi = &code[pc];                                                \
+        steps++;                                                       \
+        if (bi->flags & bc::kOpLocValid)                               \
+            curLocPc = pc;                                             \
+        if (mTrace<M>())                                               \
+            recordTrace(locs[pc]);                                     \
+        goto *tbl[static_cast<size_t>(bi->op)];                        \
+    } while (0)
+        VM_NEXT();
 #else
 #define VM_CASE(name) case bc::BOp::name
 #define VM_NEXT() continue
@@ -2373,21 +2552,132 @@ struct Machine::Impl
         }
         VM_NEXT();
 
-#if UBFUZZ_CGOTO
-    vm_dispatch:
-        if (done_)
-            goto vm_out;
-        if (steps >= limit) {
-            result_.kind = ExecResult::Kind::Timeout;
-            goto vm_out;
+// Superinstruction handlers: one dispatch retires two adjacent records
+// (the fusion pass rewrote the first record's op; the second is still
+// in place at pc+1). Each half executes verbatim — same helpers, same
+// register writes, same trap/report sites — and VM_FUSE_SECOND()
+// replicates the dispatch preamble between them, so a run that ends or
+// times out mid-pair is indistinguishable from the unfused execution:
+// ending the run leaves pc untouched, and an exhausted step budget
+// bails *before* the second half's step/loc/trace bookkeeping so the
+// preamble re-detects it and reports Timeout at exactly the step the
+// reference interpreter would.
+#define VM_FUSE_SECOND()                                               \
+    if (done_)                                                         \
+        VM_NEXT();                                                     \
+    pc++;                                                              \
+    if (steps >= limit)                                                \
+        VM_NEXT();                                                     \
+    bi++;                                                              \
+    steps++;                                                           \
+    if (bi->flags & bc::kOpLocValid)                                   \
+        curLocPc = pc;                                                 \
+    if (mTrace<M>())                                                   \
+        recordTrace(locs[pc])
+
+// Cmp+CondBr: the shape suffix is the compare's; the branch half is
+// always CondBrR on the compare's dst (its body mirrors VM_CASE(CondBrR)).
+#define VM_FUSED_CMP_BR(name, AImm, BImm)                              \
+    VM_CASE(name) : {                                                  \
+        fastBin<M, AImm, BImm>(*bi, *f, pc);                           \
+        VM_FUSE_SECOND();                                              \
+        if (mGround<M>() && f->rsh[bi->a]) {                           \
+            report(ReportKind::UninitValue, locs[pc]);                 \
+            VM_NEXT();                                                 \
+        }                                                              \
+        pc = f->regs[bi->a] != 0 ? bi->t0 : bi->t1;                    \
+    }                                                                  \
+    VM_NEXT()
+
+        VM_FUSED_CMP_BR(FCmpBrRR, false, false);
+        VM_FUSED_CMP_BR(FCmpBrRI, false, true);
+        VM_FUSED_CMP_BR(FCmpBrIR, true, false);
+        VM_FUSED_CMP_BR(FCmpBrII, true, true);
+
+// Load+Bin: the shape suffix is the Bin's; the load half is always
+// LoadR feeding one of the Bin's register operands.
+#define VM_FUSED_LOAD_BIN(name, AImm, BImm)                            \
+    VM_CASE(name) : {                                                  \
+        fastLoad<M, false>(*bi, *f, pc);                               \
+        VM_FUSE_SECOND();                                              \
+        fastBin<M, AImm, BImm>(*bi, *f, pc);                           \
+        pc++;                                                          \
+    }                                                                  \
+    VM_NEXT()
+
+        VM_FUSED_LOAD_BIN(FLoadBinRR, false, false);
+        VM_FUSED_LOAD_BIN(FLoadBinRI, false, true);
+        VM_FUSED_LOAD_BIN(FLoadBinIR, true, false);
+        VM_FUSED_LOAD_BIN(FLoadBinII, true, true);
+
+// Bin+Store: the shape suffix is the Bin's; the store half is always
+// StoreRR storing the Bin's dst.
+#define VM_FUSED_BIN_STORE(name, AImm, BImm)                           \
+    VM_CASE(name) : {                                                  \
+        fastBin<M, AImm, BImm>(*bi, *f, pc);                           \
+        VM_FUSE_SECOND();                                              \
+        fastStore<M, false, false>(*bi, *f, pc);                       \
+        pc++;                                                          \
+    }                                                                  \
+    VM_NEXT()
+
+        VM_FUSED_BIN_STORE(FBinStoreRR, false, false);
+        VM_FUSED_BIN_STORE(FBinStoreRI, false, true);
+        VM_FUSED_BIN_STORE(FBinStoreIR, true, false);
+        VM_FUSED_BIN_STORE(FBinStoreII, true, true);
+
+// Gep+Load: the shape suffix is the Gep's; the load half is always
+// LoadR from the Gep's dst.
+#define VM_FUSED_GEP_LOAD(name, AImm, BImm)                            \
+    VM_CASE(name) : {                                                  \
+        fastGep<M, AImm, BImm>(*bi, *f, pc);                           \
+        VM_FUSE_SECOND();                                              \
+        fastLoad<M, false>(*bi, *f, pc);                               \
+        pc++;                                                          \
+    }                                                                  \
+    VM_NEXT()
+
+        VM_FUSED_GEP_LOAD(FGepLoadRR, false, false);
+        VM_FUSED_GEP_LOAD(FGepLoadRI, false, true);
+        VM_FUSED_GEP_LOAD(FGepLoadIR, true, false);
+        VM_FUSED_GEP_LOAD(FGepLoadII, true, true);
+
+// FrameAddr+Load / FrameAddr+Store: the address half mirrors
+// VM_CASE(FrameAddr) (it can never end the run); the access half is
+// always through the frame address register.
+#define VM_FRAME_ADDR_HALF()                                           \
+    const uint64_t faId = f->objIds[bi->t0];                           \
+    f->regs[bi->dst] = objects_[faId - 1].base;                        \
+    if (mShadow<M>())                                                  \
+        f->rsh[bi->dst] = 0;                                           \
+    if (mGround<M>())                                                  \
+        f->prov[bi->dst] = bi->dst ? faId : 0
+
+        VM_CASE(FFrameAddrLoad) : {
+            VM_FRAME_ADDR_HALF();
+            VM_FUSE_SECOND();
+            fastLoad<M, false>(*bi, *f, pc);
+            pc++;
         }
-        bi = &code[pc];
-        steps++;
-        if (bi->flags & bc::kOpLocValid)
-            curLocPc = pc;
-        if (mTrace<M>())
-            recordTrace(locs[pc]);
-        goto *tbl[static_cast<size_t>(bi->op)];
+        VM_NEXT();
+
+        VM_CASE(FFrameAddrStoreR) : {
+            VM_FRAME_ADDR_HALF();
+            VM_FUSE_SECOND();
+            fastStore<M, false, false>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(FFrameAddrStoreI) : {
+            VM_FRAME_ADDR_HALF();
+            VM_FUSE_SECOND();
+            fastStore<M, false, true>(*bi, *f, pc);
+            pc++;
+        }
+        VM_NEXT();
+
+#if UBFUZZ_CGOTO
     vm_out:;
 #else
             }
@@ -2395,6 +2685,12 @@ struct Machine::Impl
 #endif
         result_.steps = steps;
 
+#undef VM_FRAME_ADDR_HALF
+#undef VM_FUSE_SECOND
+#undef VM_FUSED_CMP_BR
+#undef VM_FUSED_LOAD_BIN
+#undef VM_FUSED_BIN_STORE
+#undef VM_FUSED_GEP_LOAD
 #undef VM_CASE
 #undef VM_NEXT
 #undef VM_A
@@ -2420,11 +2716,22 @@ struct Machine::Impl
     ExecOptions opts_;
     Segment globals_, stack_, heap_;
     std::vector<Object> objects_;
+    /** base -> id for global and heap objects. Stack objects live in
+     *  stackObjs_ instead: frame push/pop is the hottest allocation
+     *  path and obeys strict LIFO, so a sorted vector replaces the
+     *  per-call tree-node churn a shared map would cost. */
     std::map<uint64_t, uint64_t> byBase_;
+    /** (base, id) of live stack objects, ascending by base. Pushes
+     *  append (sp_ only grows within a frame chain) and pops remove a
+     *  suffix, so the vector stays sorted without ever rebalancing. */
+    std::vector<std::pair<uint64_t, uint64_t>> stackObjs_;
     uint64_t nextObjectId_ = 1;
     bool trackShadow_ = false;
     ExecResult result_;
     bool done_ = false;
+    /** Has any nonzero poison code been written this run? While false,
+     *  the poison planes are all-clear and clearing writes are no-ops. */
+    bool poisonDirty_ = false;
     /** Has a run dirtied the arenas since the last reset()? */
     bool dirty_ = false;
     /** End offset of the highest stack byte written this run. */

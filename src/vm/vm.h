@@ -171,6 +171,21 @@ struct ExecStats
      * binary re-flattens instead of hitting).
      */
     size_t translationCapRejects = 0;
+    /**
+     * Hot re-translations at the fused tier (profile-guided
+     * quickening: a cached binary whose run count reached the hot
+     * threshold was re-flattened with the superinstruction pass).
+     * Extra work on top of the baseline translations, so deliberately
+     * outside the `executions == translations + translationHits`
+     * identity — and not bounded by translationHits either, because
+     * the unit's classifier machine shares the cache but keeps its
+     * own hit counts out of these stats. Counted by the CodeCache and
+     * folded per campaign unit, like the cap rejects.
+     */
+    size_t quickenedTranslations = 0;
+    /** Superinstruction records across all quickened translations —
+     *  how much pair coverage the fusion pass actually found. */
+    size_t fusedRecords = 0;
 
     void
     merge(const ExecStats &o)
@@ -184,6 +199,8 @@ struct ExecStats
         corpusSkips += o.corpusSkips;
         corpusCapRejects += o.corpusCapRejects;
         translationCapRejects += o.translationCapRejects;
+        quickenedTranslations += o.quickenedTranslations;
+        fusedRecords += o.fusedRecords;
     }
 
     friend bool operator==(const ExecStats &, const ExecStats &) =

@@ -81,6 +81,8 @@ sampleStats()
     s.exec.corpusSkips = 2;
     s.exec.corpusCapRejects = 1;
     s.exec.translationCapRejects = 3;
+    s.exec.quickenedTranslations = 4;
+    s.exec.fusedRecords = 90;
     s.execTimeouts = 5;
     s.timeoutExcluded = 4;
 
@@ -139,9 +141,9 @@ TEST(Serialize, CampaignStatsGoldenDigest)
     // campaign — bump kSerializeFormatVersion when repinning.
     ByteWriter w;
     support::serialize(w, sampleStats());
-    EXPECT_EQ(support::kSerializeFormatVersion, 1u);
-    EXPECT_EQ(w.size(), 522u);
-    EXPECT_EQ(support::fnv1a(w.data()), 0x8f5df811c2a19ef8ULL);
+    EXPECT_EQ(support::kSerializeFormatVersion, 2u);
+    EXPECT_EQ(w.size(), 538u);
+    EXPECT_EQ(support::fnv1a(w.data()), 0xed36d74875010966ULL);
 }
 
 TEST(Serialize, BinaryKeyRoundTrip)
