@@ -156,6 +156,16 @@ main(int argc, char **argv)
                 stats.uniquePrograms(), stats.corpusDuplicates);
     std::printf("exec timeouts:    %zu (excluded from pairing: %zu)\n",
                 stats.execTimeouts, stats.timeoutExcluded);
+    // Hardening-oracle work (zero outside --mode harden): fault
+    // injections counted by the VM itself, and the oracle's
+    // classification of each injected flip.
+    std::printf("fault injections: %zu\n", stats.exec.faultInjections);
+    std::printf("faults detected:  %zu (masked %zu, sdc %zu)\n",
+                stats.harden.faultsDetected, stats.harden.faultsMasked,
+                stats.harden.faultsSdc);
+    std::printf("drift reports:    %zu (of %zu comparisons)\n",
+                stats.harden.driftReports,
+                stats.harden.driftComparisons);
     std::printf("finding digest:   %016llx\n",
                 static_cast<unsigned long long>(
                     fuzzer::findingsDigest(stats)));

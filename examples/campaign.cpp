@@ -4,11 +4,16 @@
  *
  *   ./build/examples/campaign [numSeeds] [source] [--jobs N]
  *       [--step-limit N] [--seed S] [--cap-per-kind N]
+ *       [--mode M] [--fault-rate N] [--harden-passes dup,sig]
  *       [--store DIR] [--resume] [--shard i/N] [--max-units K]
  *       [--serve]
  *   ./build/examples/campaign merge --store DIR
  *
- * where source is one of: ubfuzz (default), music, nosafe, juliet.
+ * where source (equivalently `--mode`) is one of: ubfuzz (default),
+ * music, nosafe, juliet, harden. Harden mode runs the standard ubfuzz
+ * campaign (same finding digest) plus the hardening differential
+ * oracle: `--fault-rate` bit flips per hardened clean seed,
+ * `--harden-passes` selecting the compiled-in families.
  *
  * A plain invocation runs one in-memory campaign. `--store DIR`
  * journals every completed unit to DIR so the campaign survives its
@@ -30,6 +35,7 @@
 #include <string>
 
 #include "fuzzer/orchestrator.h"
+#include "harden/harden.h"
 #include "support/parse_num.h"
 
 using namespace ubfuzz;
@@ -113,6 +119,22 @@ printStats(const fuzzer::CampaignStats &stats)
     }
     for (san::BugId id : stats.wrongReportBugs)
         std::printf("  [wrong-report] %s\n", san::bugInfo(id).name);
+    if (stats.harden.programs || stats.harden.driftComparisons) {
+        const fuzzer::HardenStats &h = stats.harden;
+        std::printf("hardened programs:        %zu\n", h.programs);
+        std::printf("drift comparisons:        %zu (drift reports: "
+                    "%zu)\n",
+                    h.driftComparisons, h.driftReports);
+        std::printf("faults injected:          %zu (detected %zu, "
+                    "masked %zu, sdc %zu)\n",
+                    h.faultsInjected, h.faultsDetected, h.faultsMasked,
+                    h.faultsSdc);
+        size_t observable = h.faultsDetected + h.faultsSdc;
+        if (observable) {
+            std::printf("fault detection rate:     %zu%%\n",
+                        h.faultsDetected * 100 / observable);
+        }
+    }
     std::printf("finding digest:           %016llx\n",
                 static_cast<unsigned long long>(
                     fuzzer::findingsDigest(stats)));
@@ -184,6 +206,31 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--cap-per-kind")) {
             cfg.capPerKind = static_cast<size_t>(parseIntArg(
                 "--cap-per-kind", requireValue(argc, argv, i), 1));
+        } else if (!std::strcmp(argv[i], "--mode")) {
+            const char *text = requireValue(argc, argv, i);
+            auto mode = fuzzer::parseSourceMode(text);
+            if (!mode) {
+                std::fprintf(stderr,
+                             "--mode: unknown mode '%s' (want ubfuzz, "
+                             "music, nosafe, juliet, or harden)\n",
+                             text);
+                return 2;
+            }
+            cfg.source = *mode;
+        } else if (!std::strcmp(argv[i], "--fault-rate")) {
+            cfg.faultsPerProgram = parseIntArg(
+                "--fault-rate", requireValue(argc, argv, i), 1);
+        } else if (!std::strcmp(argv[i], "--harden-passes")) {
+            const char *text = requireValue(argc, argv, i);
+            auto mask = harden::parseMask(text);
+            if (!mask) {
+                std::fprintf(stderr,
+                             "--harden-passes: invalid list '%s' (want "
+                             "a comma-separated subset of dup,sig)\n",
+                             text);
+                return 2;
+            }
+            cfg.hardenPasses = *mask;
         } else if (!std::strcmp(argv[i], "--store")) {
             storeDir = requireValue(argc, argv, i);
         } else if (!std::strcmp(argv[i], "--resume")) {
@@ -209,12 +256,18 @@ main(int argc, char **argv)
             cfg.numSeeds = parseIntArg("numSeeds", argv[i], 1);
             positional++;
         } else if (positional == 1) {
-            if (!std::strcmp(argv[i], "music"))
-                cfg.source = fuzzer::SourceMode::Music;
-            else if (!std::strcmp(argv[i], "nosafe"))
-                cfg.source = fuzzer::SourceMode::CsmithNoSafe;
-            else if (!std::strcmp(argv[i], "juliet"))
-                cfg.source = fuzzer::SourceMode::Juliet;
+            // Strict like --mode: an unrecognized source used to be
+            // silently ignored (the campaign ran ubfuzz), now it
+            // aborts.
+            auto mode = fuzzer::parseSourceMode(argv[i]);
+            if (!mode) {
+                std::fprintf(stderr,
+                             "source: unknown mode '%s' (want ubfuzz, "
+                             "music, nosafe, juliet, or harden)\n",
+                             argv[i]);
+                return 2;
+            }
+            cfg.source = *mode;
             positional++;
         }
     }

@@ -180,6 +180,8 @@ configHash(const fuzzer::CampaignConfig &config)
     w.b(config.onlyO0);
     w.u64(config.stepLimit);
     w.b(config.corpusDedup);
+    w.i32(config.faultsPerProgram);
+    w.u32(config.hardenPasses);
     return support::fnv1a(w.data());
 }
 

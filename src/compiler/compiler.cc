@@ -1,7 +1,9 @@
 #include "compiler/compiler.h"
 
+#include "harden/harden.h"
 #include "ir/lowering.h"
 #include "opt/pass.h"
+#include "passes/registry.h"
 #include "sanitizer/sanitizer.h"
 #include "support/diagnostics.h"
 
@@ -17,6 +19,10 @@ CompilerConfig::str() const
     if (sanitizer != SanitizerKind::None) {
         s += " -fsanitize=";
         s += sanitizerName(sanitizer);
+    }
+    if (harden != 0) {
+        s += " -fharden=";
+        s += harden::maskStr(harden);
     }
     return s;
 }
@@ -36,7 +42,12 @@ earlyOptimize(ir::Module base, Vendor vendor, OptLevel level,
 {
     if (stats)
         stats->earlyOptRuns++;
-    opt::runStagePipeline(base, vendor, level, opt::Stage::EarlyOpt);
+    passes::Pipeline pipeline = passes::buildEarlyPipeline(vendor, level);
+    ir::PassContext ctx;
+    ctx.vendor = vendor;
+    ctx.level = level;
+    ctx.iterations = opt::stageIterations(level, opt::Stage::EarlyOpt);
+    passes::runModulePipeline(base, pipeline, ctx);
     return base;
 }
 
@@ -46,23 +57,36 @@ specialize(ir::Module earlyOptimized, const CompilerConfig &config,
 {
     UBF_ASSERT(vendorSupports(config.vendor, config.sanitizer),
                "sanitizer unsupported by vendor");
+    // The clone guard, hoisted from san::instrument so it also covers
+    // plain (uninstrumented) specializations of a cached module.
+    UBF_ASSERT(earlyOptimized.instrumentedWith == SanitizerKind::None &&
+                   earlyOptimized.hardenedWith == 0,
+               "module already specialized "
+               "(missing ir::cloneModule before specialize?)");
     if (stats)
         stats->specializations++;
     Binary binary;
     binary.config = config;
     binary.module = std::move(earlyOptimized);
 
-    // Sanitizer instrumentation + check optimizer.
-    san::SanitizerContext ctx;
-    ctx.kind = config.sanitizer;
-    ctx.bugs = san::ActiveBugs(config.vendor, config.effectiveVersion(),
-                               config.level);
-    ctx.log = &binary.log;
-    san::instrument(binary.module, ctx);
-
-    // Late optimizer: cleanup that must not break checks.
-    opt::runStagePipeline(binary.module, config.vendor, config.level,
-                          opt::Stage::LateOpt);
+    // Sanitizer instrumentation + check optimizer, the late cleanup
+    // optimizer, then hardening — one registry-built pipeline.
+    san::SanitizerContext sanCtx;
+    sanCtx.kind = config.sanitizer;
+    sanCtx.bugs = san::ActiveBugs(config.vendor,
+                                  config.effectiveVersion(),
+                                  config.level);
+    sanCtx.log = &binary.log;
+    passes::Pipeline pipeline = passes::buildSpecializePipeline(
+        config.vendor, config.level, config.sanitizer, config.harden);
+    ir::PassContext ctx;
+    ctx.vendor = config.vendor;
+    ctx.level = config.level;
+    ctx.san = &sanCtx;
+    ctx.hardenMask = config.harden;
+    ctx.iterations =
+        opt::stageIterations(config.level, opt::Stage::LateOpt);
+    passes::runModulePipeline(binary.module, pipeline, ctx);
 
     std::string verr = ir::verifyModule(binary.module);
     UBF_ASSERT(verr.empty(), "post-compile verification failed: ", verr);
@@ -165,7 +189,10 @@ CompilationCache::earlyOptModule(Vendor vendor, OptLevel level)
 {
     // Equivalent matrix columns (same early pipeline, same rounds)
     // share one entry — and one optimizer run.
-    auto key = opt::canonicalEarlyOptPoint(vendor, level);
+    auto point = opt::canonicalEarlyOptPoint(vendor, level);
+    auto key = std::make_pair(
+        point,
+        passes::earlyPipelineFingerprint(point.first, point.second));
     auto it = earlyOpt_.find(key);
     if (it != earlyOpt_.end()) {
         stats_.earlyOptCacheHits++;
@@ -174,8 +201,8 @@ CompilationCache::earlyOptModule(Vendor vendor, OptLevel level)
     if (!base_)
         base_ = lowerOnce(program_, printed_, &stats_);
     return earlyOpt_
-        .emplace(key, earlyOptimize(ir::cloneModule(*base_), key.first,
-                                    key.second, &stats_))
+        .emplace(key, earlyOptimize(ir::cloneModule(*base_), point.first,
+                                    point.second, &stats_))
         .first->second;
 }
 

@@ -49,6 +49,10 @@ struct CompilerConfig
     int version = 0;
     OptLevel level = OptLevel::O0;
     SanitizerKind sanitizer = SanitizerKind::None;
+    /** Hardening families to schedule after every optimizer
+     *  (harden::k* bits); 0 — the default — compiles exactly as
+     *  before the pass-pipeline refactor. */
+    uint32_t harden = 0;
 
     int
     effectiveVersion() const
@@ -63,7 +67,8 @@ struct CompilerConfig
     operator==(const CompilerConfig &a, const CompilerConfig &b)
     {
         return a.vendor == b.vendor && a.version == b.version &&
-               a.level == b.level && a.sanitizer == b.sanitizer;
+               a.level == b.level && a.sanitizer == b.sanitizer &&
+               a.harden == b.harden;
     }
 };
 
@@ -245,8 +250,16 @@ class CompilationCache
     const ast::PrintedProgram &printed_;
     /** Lowered base module; built on first use. */
     std::optional<ir::Module> base_;
-    /** Post-early-opt modules keyed by (vendor, level). */
-    std::map<std::pair<Vendor, OptLevel>, ir::Module> earlyOpt_;
+    /**
+     * Post-early-opt modules keyed by the canonical (vendor, level)
+     * point *and* the fingerprint of the registry pipeline that point
+     * builds. The fingerprint is redundant while canonicalEarlyOptPoint
+     * stays in sync with the registry — absorbing it makes the cache
+     * safe against the two drifting apart: a stale canonicalization
+     * then splits entries instead of serving a wrong module.
+     */
+    std::map<std::pair<std::pair<Vendor, OptLevel>, uint64_t>, ir::Module>
+        earlyOpt_;
     /** Memoized textHash(printed_.text); computed on first use. */
     mutable std::optional<uint64_t> baseTextHash_;
     CompileStats stats_;

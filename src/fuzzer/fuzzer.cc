@@ -26,8 +26,25 @@ sourceModeName(SourceMode m)
       case SourceMode::Music: return "music";
       case SourceMode::CsmithNoSafe: return "csmith-nosafe";
       case SourceMode::Juliet: return "juliet";
+      case SourceMode::Harden: return "harden";
     }
     return "?";
+}
+
+std::optional<SourceMode>
+parseSourceMode(std::string_view text)
+{
+    if (text == "ubfuzz")
+        return SourceMode::UBFuzz;
+    if (text == "music")
+        return SourceMode::Music;
+    if (text == "nosafe")
+        return SourceMode::CsmithNoSafe;
+    if (text == "juliet")
+        return SourceMode::Juliet;
+    if (text == "harden")
+        return SourceMode::Harden;
+    return std::nullopt;
 }
 
 UBKind
@@ -56,9 +73,13 @@ kindOfReport(vm::ReportKind r)
       case R::UninitValue:
         return UBKind::UseOfUninitMemory;
       case R::None:
-        // Not a report: only callers holding a crashed ExecResult may
-        // ask for its UB kind. (No default arm, so a new ReportKind is
-        // a compile error here rather than a silent mislabel.)
+      case R::HardeningFault:
+        // Not a sanitizer report: only callers holding a crashed
+        // sanitizer ExecResult may ask for its UB kind — a
+        // HardeningFault belongs to the fault oracle, which classifies
+        // it before this mapping is ever consulted. (No default arm,
+        // so a new ReportKind is a compile error here rather than a
+        // silent mislabel.)
         break;
     }
     UBF_PANIC("kindOfReport: not a sanitizer report: ",
@@ -185,7 +206,8 @@ class Campaign
         gen::GeneratorConfig gc;
         gc.seed = cfg_.seed * 1000003ULL + static_cast<uint64_t>(index);
         switch (cfg_.source) {
-          case SourceMode::UBFuzz: {
+          case SourceMode::UBFuzz:
+          case SourceMode::Harden: {
             gc.safeMath = true;
             auto seed = gen::generateProgram(gc);
             ubgen::UBGenerator ubg(*seed);
@@ -227,6 +249,11 @@ class Campaign
                 item.baseModule = std::move(mod);
                 testItem(std::move(item));
             }
+            // The fault oracle draws from the unit RNG only after
+            // every UBFuzz draw above, so the shared phases are
+            // bit-identical between the two modes.
+            if (cfg_.source == SourceMode::Harden)
+                faultOracle(seedCache, rng);
             break;
           }
           case SourceMode::Music: {
@@ -263,6 +290,72 @@ class Campaign
           case SourceMode::Juliet:
             break;
         }
+    }
+
+    /** Two executions observably agree: same termination kind, report,
+     *  report site, trap, exit code, and checksum. */
+    static bool
+    sameObservable(const vm::ExecResult &a, const vm::ExecResult &b)
+    {
+        return a.kind == b.kind && a.report == b.report &&
+               a.reportLoc == b.reportLoc && a.trap == b.trap &&
+               a.exitCode == b.exitCode && a.checksum == b.checksum;
+    }
+
+    /**
+     * The fault half of the hardening oracle, run once per productive
+     * seed on its *clean* program: compile a hardened twin at a fixed
+     * plain-build point, execute it fault-free to learn its step count,
+     * then re-execute it `faultsPerProgram` times with one deterministic
+     * bit flip armed each time, classifying every run as detected
+     * (HardeningFault report), masked (observably identical to the
+     * fault-free run), or silent data corruption.
+     */
+    void
+    faultOracle(compiler::SeedLoweringCache &seedCache, Rng &rng)
+    {
+        compiler::CompilerConfig hc;
+        hc.vendor = Vendor::GCC;
+        hc.level = OptLevel::O2;
+        hc.sanitizer = SanitizerKind::None;
+        hc.harden = cfg_.hardenPasses;
+        compiler::Binary bin = compiler::specialize(
+            compiler::earlyOptimize(
+                ir::cloneModule(seedCache.baseModule()), hc.vendor,
+                hc.level, &stats_.compile),
+            hc, &stats_.compile);
+
+        // A dedicated machine (counted: machinesBuilt + corpusSkips ==
+        // ubPrograms + harden.programs), sharing the unit's bytecode
+        // cache like every other machine of the unit.
+        stats_.harden.programs++;
+        vm::Machine machine(&codeCache_);
+        vm::ExecOptions opts;
+        opts.stepLimit = cfg_.stepLimit;
+        vm::ExecResult base = machine.run(bin.module, opts);
+        if (base.kind != vm::ExecResult::Kind::Timeout &&
+            base.steps > 1) {
+            for (int k = 0; k < cfg_.faultsPerProgram; k++) {
+                vm::FaultPlan plan;
+                plan.step = 1 + rng.below(base.steps - 1);
+                plan.target = rng.next();
+                plan.bitIndex = static_cast<uint8_t>(rng.below(64));
+                vm::ExecOptions fopts;
+                fopts.stepLimit = cfg_.stepLimit;
+                fopts.fault = &plan;
+                vm::ExecResult r = machine.run(bin.module, fopts);
+                stats_.harden.faultsInjected++;
+                if (r.kind == vm::ExecResult::Kind::Report &&
+                    r.report == vm::ReportKind::HardeningFault) {
+                    stats_.harden.faultsDetected++;
+                } else if (sameObservable(r, base)) {
+                    stats_.harden.faultsMasked++;
+                } else {
+                    stats_.harden.faultsSdc++;
+                }
+            }
+        }
+        stats_.exec.merge(machine.stats());
     }
 
     CampaignConfig cfg_;
@@ -431,6 +524,31 @@ class Campaign
             delta.execTimeouts += diff.timeouts;
             delta.timeoutExcluded += diff.timeoutExcluded;
 
+            // Drift phase (Harden mode): every outcome's hardened twin
+            // must behave observably identically without a fault armed
+            // — hardening that changes a sanitizer report (or anything
+            // else) is a compiler bug, not a detection. Timeout on
+            // either side is incomparable (hardening multiplies the
+            // step count), not drift.
+            if (cfg_.source == SourceMode::Harden) {
+                for (const auto &oc : diff.outcomes) {
+                    if (oc.result.kind == vm::ExecResult::Kind::Timeout)
+                        continue;
+                    compiler::CompilerConfig hc = oc.config;
+                    hc.harden = cfg_.hardenPasses;
+                    compiler::Binary hardened = cache.compile(hc);
+                    vm::ExecOptions opts;
+                    opts.stepLimit = cfg_.stepLimit;
+                    vm::ExecResult hr =
+                        machine.run(hardened.module, opts);
+                    if (hr.kind == vm::ExecResult::Kind::Timeout)
+                        continue;
+                    delta.harden.driftComparisons++;
+                    if (!sameObservable(oc.result, hr))
+                        delta.harden.driftReports++;
+                }
+            }
+
             // Wrong-report detection: a binary reports, but at the
             // wrong location, and a wrong-line-information defect
             // fired at the true UB site.
@@ -563,6 +681,7 @@ mergeCampaignStats(CampaignStats &into, CampaignStats &&from)
     into.exec.merge(from.exec);
     into.execTimeouts += from.execTimeouts;
     into.timeoutExcluded += from.timeoutExcluded;
+    into.harden.merge(from.harden);
     // Fold the corpus seen-set in unit order: occurrences of a key an
     // earlier unit already tested are cross-seed duplicates. `from`'s
     // own beyond-first occurrences are already in from.corpusDuplicates;
@@ -631,12 +750,14 @@ statsInvariantViolation(const CampaignStats &s)
                         s.exec.executions,
                         s.exec.translations + s.exec.translationHits);
     }
-    // One differential machine per tested program; replayed duplicates
-    // build none.
-    if (s.exec.machinesBuilt + s.exec.corpusSkips != s.ubPrograms) {
-        return mismatch("machines built + corpus replays != ub programs",
+    // One differential machine per tested program, plus one per
+    // hardened fault-oracle program; replayed duplicates build none.
+    if (s.exec.machinesBuilt + s.exec.corpusSkips !=
+        s.ubPrograms + s.harden.programs) {
+        return mismatch("machines built + corpus replays != "
+                        "ub programs + hardened programs",
                         s.exec.machinesBuilt + s.exec.corpusSkips,
-                        s.ubPrograms);
+                        s.ubPrograms + s.harden.programs);
     }
     return {};
 }

@@ -17,22 +17,45 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
 #include "compiler/compiler.h"
 #include "generator/generator.h"
+#include "harden/harden.h"
 #include "sanitizer/bug_catalog.h"
 #include "ubgen/ubgen.h"
 #include "vm/vm.h"
 
 namespace ubfuzz::fuzzer {
 
-/** Where UB programs come from (Table 4's generator column). */
-enum class SourceMode : uint8_t { UBFuzz, Music, CsmithNoSafe, Juliet };
+/**
+ * Where UB programs come from (Table 4's generator column). Harden is
+ * UBFuzz plus the hardening differential oracle: the same seeds, UB
+ * programs, and testing matrix (the finding digest is identical), with
+ * two extra phases per unit — a hardened-twin drift comparison of every
+ * matrix outcome, and a deterministic fault-injection campaign on the
+ * hardened clean seed.
+ */
+enum class SourceMode : uint8_t {
+    UBFuzz,
+    Music,
+    CsmithNoSafe,
+    Juliet,
+    Harden,
+};
 
 const char *sourceModeName(SourceMode m);
+
+/**
+ * Strict inverse of sourceModeName for the CLI (`--mode`): exactly
+ * "ubfuzz", "music", "nosafe", "juliet", or "harden"; anything else —
+ * including prefixes and trailing junk — is std::nullopt.
+ */
+std::optional<SourceMode> parseSourceMode(std::string_view text);
 
 struct CampaignConfig
 {
@@ -77,6 +100,17 @@ struct CampaignConfig
      */
     size_t corpusMemoCap = 16384;
     size_t codeCacheCap = 1024;
+    /**
+     * Harden mode: deterministic single-bit faults injected per
+     * hardened clean-seed program (`--fault-rate` on the CLI). Each
+     * fault's plan (step, target, bit) is drawn from the unit's RNG
+     * *after* all UBFuzz draws, so the finding digest matches the
+     * standard mode for any value.
+     */
+    int faultsPerProgram = 8;
+    /** Hardening families compiled into the twins (harden::k* bits;
+     *  `--harden-passes` on the CLI). */
+    uint32_t hardenPasses = harden::kAllFamilies;
 };
 
 /**
@@ -152,6 +186,46 @@ struct FindingRecord
     }
 };
 
+/**
+ * Hardening differential-oracle counters (Harden mode only; all zero
+ * elsewhere). The CI smoke asserts `driftReports == 0` (hardening must
+ * not change any observable behavior without a fault) and a detection
+ * rate `faultsDetected / (faultsDetected + faultsSdc) >= 0.9` (at
+ * least 90% of the observable-result-altering faults are turned into
+ * HardeningFault reports).
+ */
+struct HardenStats
+{
+    /** Hardened clean-seed programs put through the fault oracle. */
+    size_t programs = 0;
+    size_t faultsInjected = 0;
+    /** Fault runs ending in a HardeningFault report. */
+    size_t faultsDetected = 0;
+    /** Fault runs whose observable result equals the fault-free run. */
+    size_t faultsMasked = 0;
+    /** Silent data corruption: result altered, no detection. */
+    size_t faultsSdc = 0;
+    /** Hardened-twin vs plain outcome comparisons (drift phase). */
+    size_t driftComparisons = 0;
+    /** Comparisons where the hardened twin behaved differently. */
+    size_t driftReports = 0;
+
+    void
+    merge(const HardenStats &o)
+    {
+        programs += o.programs;
+        faultsInjected += o.faultsInjected;
+        faultsDetected += o.faultsDetected;
+        faultsMasked += o.faultsMasked;
+        faultsSdc += o.faultsSdc;
+        driftComparisons += o.driftComparisons;
+        driftReports += o.driftReports;
+    }
+
+    friend bool operator==(const HardenStats &, const HardenStats &) =
+        default;
+};
+
 struct CampaignStats
 {
     /** Seed programs attempted (including unprofiled ones). */
@@ -217,6 +291,9 @@ struct CampaignStats
     size_t execTimeouts = 0;
     /** Timed-out binaries excluded from discrepancy pairing. */
     size_t timeoutExcluded = 0;
+
+    /** Hardening-oracle counters (Harden mode; zero elsewhere). */
+    HardenStats harden;
 
     /**
      * Corpus identity multiset of this campaign (unit): every tested
@@ -349,7 +426,8 @@ uint64_t findingsDigest(const CampaignStats &stats);
  * per-unit identities, so any in-order fold of unit deltas preserves
  * them): `lowerings == productive seeds + delta fallbacks`,
  * `executions == translations + translation hits`, and
- * `machines built + corpus replays == ub programs`. Returns an empty
+ * `machines built + corpus replays == ub programs + hardened fault
+ * programs`. Returns an empty
  * string when all hold, else a description of the first violation —
  * the campaign service panics on it after every replay-involved run,
  * so stats-accounting drift on resume fails loudly instead of

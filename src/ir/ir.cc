@@ -41,6 +41,7 @@ opcodeName(Opcode op)
       case Opcode::UbsanNull: return "ubsan_null";
       case Opcode::UbsanBounds: return "ubsan_bounds";
       case Opcode::MsanCheck: return "msan_check";
+      case Opcode::HardenCheck: return "harden_check";
     }
     return "?";
 }
@@ -248,6 +249,7 @@ serializeExecutionKey(const Module &m, RawFn &&raw)
     u64(m.msan.enabled);
     u64(m.msan.bugSubConstDefined);
     u64(m.msan.bugAndDefined);
+    u64(m.hardenedWith);
     u64(m.globals.size());
     for (const GlobalObject &g : m.globals) {
         u64(g.size);

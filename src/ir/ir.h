@@ -68,6 +68,8 @@ enum class Opcode : uint8_t {
     UbsanNull,     ///< null-pointer check of a
     UbsanBounds,   ///< array-bounds check: 0 <= a < imm
     MsanCheck,     ///< uninitialized-value check of a
+    // --- hardening instructions (inserted by hardening passes) ---
+    HardenCheck,   ///< duplicate-compare: a (reg) must raw-equal b
 };
 
 /**
@@ -76,7 +78,7 @@ enum class Opcode : uint8_t {
  * it and a test walks every value, so a gap shows up immediately.
  */
 inline constexpr size_t kNumOpcodes =
-    static_cast<size_t>(Opcode::MsanCheck) + 1;
+    static_cast<size_t>(Opcode::HardenCheck) + 1;
 
 const char *opcodeName(Opcode op);
 
@@ -165,11 +167,12 @@ struct Inst
                op == Opcode::Free;
     }
 
-    /** Is this a sanitizer check or poison-management instruction? */
+    /** Is this a sanitizer check or poison-management instruction
+     *  (hardening checks included — instrumentation, not payload)? */
     bool
     isSanitizerOp() const
     {
-        return op >= Opcode::AsanCheck && op <= Opcode::MsanCheck;
+        return op >= Opcode::AsanCheck && op <= Opcode::HardenCheck;
     }
 };
 
@@ -269,6 +272,15 @@ struct Module
      * instrumentation a missing clone would silently cause.
      */
     SanitizerKind instrumentedWith = SanitizerKind::None;
+    /**
+     * Bitmask of hardening passes that ran on this module (harden::
+     * kDuplicateCompare / kCfgSignature). Like `instrumentedWith`,
+     * this is the per-family-once invariant the pass pipeline
+     * enforces: re-running a family whose bit is already set panics.
+     * Part of executionKey — a hardened module must never share a
+     * cached execution with its unhardened twin.
+     */
+    uint32_t hardenedWith = 0;
 
     Function *
     findFunction(const std::string &name)

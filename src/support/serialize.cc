@@ -37,6 +37,7 @@ putConfig(ByteWriter &w, const compiler::CompilerConfig &c)
     w.i32(c.version);
     w.u8(static_cast<uint8_t>(c.level));
     w.u8(static_cast<uint8_t>(c.sanitizer));
+    w.u32(c.harden);
 }
 
 void
@@ -46,6 +47,7 @@ getConfig(ByteReader &r, compiler::CompilerConfig &c)
     c.version = r.i32();
     c.level = static_cast<OptLevel>(r.u8());
     c.sanitizer = static_cast<SanitizerKind>(r.u8());
+    c.harden = r.u32();
 }
 
 } // namespace
@@ -174,6 +176,7 @@ serialize(ByteWriter &w, const fuzzer::CampaignStats &s)
     w.u64(s.exec.translationCapRejects);
     w.u64(s.exec.quickenedTranslations);
     w.u64(s.exec.fusedRecords);
+    w.u64(s.exec.faultInjections);
 
     w.u64(s.execTimeouts);
     w.u64(s.timeoutExcluded);
@@ -184,6 +187,14 @@ serialize(ByteWriter &w, const fuzzer::CampaignStats &s)
         w.u64(n);
     }
     w.u64(s.corpusDuplicates);
+
+    w.u64(s.harden.programs);
+    w.u64(s.harden.faultsInjected);
+    w.u64(s.harden.faultsDetected);
+    w.u64(s.harden.faultsMasked);
+    w.u64(s.harden.faultsSdc);
+    w.u64(s.harden.driftComparisons);
+    w.u64(s.harden.driftReports);
 }
 
 bool
@@ -255,6 +266,7 @@ deserialize(ByteReader &r, fuzzer::CampaignStats &s)
     s.exec.translationCapRejects = r.u64();
     s.exec.quickenedTranslations = r.u64();
     s.exec.fusedRecords = r.u64();
+    s.exec.faultInjections = r.u64();
 
     s.execTimeouts = r.u64();
     s.timeoutExcluded = r.u64();
@@ -266,6 +278,14 @@ deserialize(ByteReader &r, fuzzer::CampaignStats &s)
         s.corpusSeen[key] = r.u64();
     }
     s.corpusDuplicates = r.u64();
+
+    s.harden.programs = r.u64();
+    s.harden.faultsInjected = r.u64();
+    s.harden.faultsDetected = r.u64();
+    s.harden.faultsMasked = r.u64();
+    s.harden.faultsSdc = r.u64();
+    s.harden.driftComparisons = r.u64();
+    s.harden.driftReports = r.u64();
     return r.ok();
 }
 

@@ -50,7 +50,7 @@ namespace support {
  * campaign store writes it into every journal manifest and refuses to
  * replay a journal from a different format version.
  */
-inline constexpr uint32_t kSerializeFormatVersion = 2;
+inline constexpr uint32_t kSerializeFormatVersion = 3;
 
 /** Append-only little-endian byte sink. */
 class ByteWriter

@@ -46,6 +46,7 @@ opcodeHasHandler(ir::Opcode op)
       case Opcode::UbsanNull:
       case Opcode::UbsanBounds:
       case Opcode::MsanCheck:
+      case Opcode::HardenCheck:
         return true;
       default:
         // An opcode added to the IR without a flattener handler lands
@@ -446,6 +447,11 @@ translate(const ir::Module &m, uint32_t tier)
                   case Opcode::MsanCheck:
                     bi.op = BOp::MsanCheck;
                     opA(inst.a);
+                    break;
+                  case Opcode::HardenCheck:
+                    bi.op = BOp::HardenCheck;
+                    opA(inst.a);
+                    opB(inst.b);
                     break;
                 }
                 p.code.push_back(bi);

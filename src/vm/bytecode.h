@@ -112,6 +112,7 @@ namespace bc {
     X(UbsanNull)                                                           \
     X(UbsanBounds)                                                         \
     X(MsanCheck)                                                           \
+    X(HardenCheck)                                                         \
     X(FCmpBrRR)                                                            \
     X(FCmpBrRI)                                                            \
     X(FCmpBrIR)                                                            \

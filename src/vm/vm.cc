@@ -46,6 +46,7 @@ reportKindName(ReportKind k)
       case ReportKind::DivByZero: return "division-by-zero";
       case ReportKind::ArrayIndexOOB: return "array-index-out-of-bounds";
       case ReportKind::UninitValue: return "use-of-uninitialized-value";
+      case ReportKind::HardeningFault: return "hardening-fault-detected";
     }
     return "?";
 }
@@ -389,6 +390,16 @@ struct Machine::Impl
         const ir::BinaryKey *key)
     {
         UBF_ASSERT(m.mainIndex >= 0, "module has no main");
+        if (opts.fault) {
+            // Fault runs need step-exact timing: fused-tier handlers
+            // retire two records per dispatch, so a cached (possibly
+            // quickened) translation is unusable. Translate fresh at
+            // the baseline tier; the extra translation keeps the
+            // `executions == translations + hits` identity.
+            stats_.translations++;
+            bc::Program prog = bc::translate(m, bc::kTierBaseline);
+            return runBytecode(prog, opts);
+        }
         bool hit = false;
         std::shared_ptr<const bc::Program> prog = cache_->translation(
             m, key ? *key : ir::binaryKey(m), &hit);
@@ -409,7 +420,7 @@ struct Machine::Impl
         opts_ = opts;
         trackShadow_ = p.msan.enabled || opts_.groundTruth;
         loadGlobals(p.globals, p.asanGlobals);
-        if (opts_.recordTrace || opts_.profile)
+        if (opts_.recordTrace || opts_.profile || opts_.fault)
             execProgram<Mode::Generic>();
         else if (opts_.groundTruth)
             execProgram<Mode::Ground>();
@@ -856,6 +867,53 @@ struct Machine::Impl
 
     SourceLoc curLoc_;
 
+    /**
+     * Apply the armed FaultPlan to the current frame: flip one bit in
+     * a register or a frame-slot byte. Both interpreters call this
+     * from the same point of the dispatch preamble (after the step
+     * counter reached plan.step, before that step's instruction
+     * executes), so fault runs are bit-identical across them. The plan
+     * is modulo-reduced onto whatever the frame actually has; a frame
+     * with no eligible victim of the chosen kind falls back to the
+     * other kind, and a frame with neither leaves the run untouched.
+     */
+    void
+    applyFault(std::vector<uint64_t> &regs,
+               const std::vector<uint64_t> &objIds,
+               const std::vector<ir::FrameObject> &frame)
+    {
+        const FaultPlan &fp = *opts_.fault;
+        const bool wantSlot = fp.target & 1;
+        const uint64_t rest = fp.target >> 1;
+        auto flipSlot = [&]() -> bool {
+            if (objIds.empty())
+                return false;
+            const size_t idx = rest % objIds.size();
+            const uint64_t size = frame[idx].size;
+            if (!size)
+                return false;
+            const uint64_t base = objects_[objIds[idx] - 1].base;
+            const uint64_t byte = (rest / objIds.size()) % size;
+            stack_.mem[base - stack_.base + byte] ^=
+                static_cast<uint8_t>(1u << (fp.bitIndex % 8));
+            noteStackWrite(base + byte + 1);
+            return true;
+        };
+        auto flipReg = [&]() -> bool {
+            if (regs.size() <= 1)
+                return false;
+            const size_t idx = 1 + rest % (regs.size() - 1);
+            regs[idx] ^= 1ULL << (fp.bitIndex % 64);
+            return true;
+        };
+        bool applied = wantSlot ? (flipSlot() || flipReg())
+                                : (flipReg() || flipSlot());
+        if (applied) {
+            result_.faultApplied = true;
+            stats_.faultInjections++;
+        }
+    }
+
     void
     recordTrace(SourceLoc loc)
     {
@@ -875,6 +933,8 @@ struct Machine::Impl
         if (inst.loc.isValid())
             curLoc_ = inst.loc;
         recordTrace(inst.loc);
+        if (opts_.fault && result_.steps == opts_.fault->step)
+            applyFault(f.regs, f.objIds, f.fn->frame);
 
         switch (inst.op) {
           case Opcode::Nop:
@@ -1120,6 +1180,17 @@ struct Machine::Impl
           case Opcode::MsanCheck:
             if (m_->msan.enabled && shadow(inst.a)) {
                 report(ReportKind::UninitValue, inst.loc);
+                return;
+            }
+            f.ip++;
+            break;
+          case Opcode::HardenCheck:
+            // Armed only while a fault plan is in effect: on the
+            // ordinary sanitizer matrix a hardened binary must be
+            // report-for-report identical to its unhardened twin, even
+            // when the program's own UB corrupts a shadow slot.
+            if (opts_.fault && val(inst.a) != val(inst.b)) {
+                report(ReportKind::HardeningFault, inst.loc);
                 return;
             }
             f.ip++;
@@ -1585,6 +1656,18 @@ struct Machine::Impl
             return false;
     }
 
+    /** Fault injection is a Generic-mode-only concern: the three hot
+     *  modes compile the armed-plan test out entirely. */
+    template <Mode M>
+    bool
+    mFault() const
+    {
+        if constexpr (M == Mode::Generic)
+            return opts_.fault != nullptr;
+        else
+            return false;
+    }
+
     /** Push a bytecode frame (args marshaled into the scratch arrays).
      *  @return false when a StackOverflow trap ended the run; the trap
      *  site is the last executed valid loc, like the reference. */
@@ -2008,6 +2091,9 @@ struct Machine::Impl
             curLocPc = pc;                                             \
         if (mTrace<M>())                                               \
             recordTrace(locs[pc]);                                     \
+        if (mFault<M>() && steps == opts_.fault->step)                 \
+            applyFault(f->regs, f->objIds,                             \
+                       bp_->functions[f->fnIdx].frame);                \
         goto *tbl[static_cast<size_t>(bi->op)];                        \
     } while (0)
         VM_NEXT();
@@ -2027,6 +2113,9 @@ struct Machine::Impl
                 curLocPc = pc;
             if (mTrace<M>())
                 recordTrace(locs[pc]);
+            if (mFault<M>() && steps == opts_.fault->step)
+                applyFault(f->regs, f->objIds,
+                           bp_->functions[f->fnIdx].frame);
             switch (bi->op) {
 #endif
 
@@ -2546,6 +2635,17 @@ struct Machine::Impl
                     : 0;
             if (bp_->msan.enabled && sh) {
                 report(ReportKind::UninitValue, locs[pc]);
+                VM_NEXT();
+            }
+            pc++;
+        }
+        VM_NEXT();
+
+        VM_CASE(HardenCheck) : {
+            // Armed only while a fault plan is in effect (see the
+            // reference interpreter's arm for why).
+            if (mFault<M>() && VM_A() != VM_B()) {
+                report(ReportKind::HardeningFault, locs[pc]);
                 VM_NEXT();
             }
             pc++;

@@ -46,6 +46,9 @@ enum class ReportKind : uint8_t {
     DivByZero,
     ArrayIndexOOB,
     UninitValue,
+    /** A hardening check (duplicate-compare / CFG signature) caught a
+     *  corrupted value — only ever raised while a FaultPlan is armed. */
+    HardeningFault,
 };
 
 const char *reportKindName(ReportKind k);
@@ -61,6 +64,23 @@ enum class TrapKind : uint8_t {
 };
 
 const char *trapKindName(TrapKind k);
+
+/**
+ * A deterministic single-event upset: at executed step `step` (1-based,
+ * in the VM's own step counter), flip one bit in a register or frame
+ * slot of the innermost live frame. `target` picks the victim — bit 0
+ * selects register (0) vs frame-slot (1), the remaining bits index into
+ * whatever the frame actually has (modulo-reduced, so any uint64 is a
+ * valid plan). `bitIndex` picks the bit (mod 64 for registers, mod 8
+ * within the chosen byte for slots). Derived from the unit RNG stream,
+ * so plans are identical across --jobs values.
+ */
+struct FaultPlan
+{
+    uint64_t step = 0;
+    uint64_t target = 0;
+    uint8_t bitIndex = 0;
+};
 
 /** Execution options. */
 struct ExecOptions
@@ -79,6 +99,16 @@ struct ExecOptions
      * validate UBGen's output.
      */
     bool groundTruth = false;
+    /**
+     * Fault-injection mode: apply this single-bit upset during the
+     * run. Arms the HardenCheck instructions (they only report while a
+     * plan is armed, which is what keeps hardened binaries
+     * drift-free on the ordinary sanitizer matrix). Fault runs bypass
+     * the CodeCache and interpret a fresh baseline-tier translation:
+     * fused superinstructions retire two records per dispatch, which
+     * would break the step-exact fault timing.
+     */
+    const FaultPlan *fault = nullptr;
 };
 
 /** The outcome of one execution. */
@@ -98,6 +128,9 @@ struct ExecResult
     int64_t exitCode = 0;
     uint64_t checksum = 0;
     uint64_t steps = 0;
+    /** Fault injection: the armed FaultPlan's bit flip actually landed
+     *  (the run reached plan.step and the frame had a victim). */
+    bool faultApplied = false;
 
     /** Executed sites in order (consecutive duplicates collapsed). */
     std::vector<SourceLoc> trace;
@@ -186,6 +219,9 @@ struct ExecStats
     /** Superinstruction records across all quickened translations —
      *  how much pair coverage the fusion pass actually found. */
     size_t fusedRecords = 0;
+    /** Bit flips actually applied by armed FaultPlans (one per fault
+     *  run that reached its step with a live victim). */
+    size_t faultInjections = 0;
 
     void
     merge(const ExecStats &o)
@@ -201,6 +237,7 @@ struct ExecStats
         translationCapRejects += o.translationCapRejects;
         quickenedTranslations += o.quickenedTranslations;
         fusedRecords += o.fusedRecords;
+        faultInjections += o.faultInjections;
     }
 
     friend bool operator==(const ExecStats &, const ExecStats &) =

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Pass-pipeline tests: registry-built pipelines are deterministic
+ * (byte-identical pipelineId sequences on every build), registration
+ * collisions die loudly, the adapter pipelines reproduce the
+ * pre-refactor compiler bit-for-bit (equal ir::executionKey on a
+ * standard seed mix), and the hardening passes are silent until a
+ * FaultPlan is armed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "frontend/parser.h"
+#include "generator/generator.h"
+#include "harden/harden.h"
+#include "opt/pass.h"
+#include "passes/registry.h"
+#include "sanitizer/sanitizer.h"
+#include "vm/vm.h"
+
+namespace ubfuzz {
+namespace {
+
+using compiler::Binary;
+using compiler::CompilerConfig;
+using passes::PassRegistry;
+using passes::Pipeline;
+using vm::ExecResult;
+
+std::vector<uint64_t>
+idsOf(const Pipeline &p)
+{
+    std::vector<uint64_t> ids;
+    for (const auto &pass : p)
+        ids.push_back(pass->pipelineId());
+    return ids;
+}
+
+CompilerConfig
+cfg(Vendor v, OptLevel l, SanitizerKind s = SanitizerKind::None,
+    uint32_t harden = 0)
+{
+    CompilerConfig c;
+    c.vendor = v;
+    c.level = l;
+    c.sanitizer = s;
+    c.harden = harden;
+    return c;
+}
+
+/** The configuration mix the parity tests sweep: every vendor/level
+ *  corner the campaign matrix exercises, plus each sanitizer. */
+std::vector<CompilerConfig>
+standardConfigs()
+{
+    std::vector<CompilerConfig> cs;
+    for (Vendor v : {Vendor::GCC, Vendor::LLVM})
+        for (OptLevel l : kAllOptLevels)
+            cs.push_back(cfg(v, l));
+    cs.push_back(cfg(Vendor::GCC, OptLevel::O2, SanitizerKind::ASan));
+    cs.push_back(cfg(Vendor::GCC, OptLevel::Os, SanitizerKind::UBSan));
+    cs.push_back(cfg(Vendor::LLVM, OptLevel::O3, SanitizerKind::ASan));
+    cs.push_back(cfg(Vendor::LLVM, OptLevel::O1, SanitizerKind::UBSan));
+    cs.push_back(cfg(Vendor::LLVM, OptLevel::O2, SanitizerKind::MSan));
+    return cs;
+}
+
+TEST(Passes, EarlyPipelinesAreByteIdenticalAcrossBuilds)
+{
+    for (Vendor v : {Vendor::GCC, Vendor::LLVM}) {
+        for (OptLevel l : kAllOptLevels) {
+            Pipeline a = passes::buildEarlyPipeline(v, l);
+            Pipeline b = passes::buildEarlyPipeline(v, l);
+            EXPECT_EQ(idsOf(a), idsOf(b))
+                << vendorName(v) << " " << optLevelName(l);
+            EXPECT_EQ(passes::pipelineFingerprint(a),
+                      passes::pipelineFingerprint(b));
+            // The memoized form the compilation cache keys on agrees
+            // with a fresh instantiation.
+            EXPECT_EQ(passes::earlyPipelineFingerprint(v, l),
+                      passes::pipelineFingerprint(a));
+        }
+    }
+}
+
+TEST(Passes, SpecializePipelinesAreByteIdenticalAcrossBuilds)
+{
+    for (const CompilerConfig &c : standardConfigs()) {
+        for (uint32_t mask : {0u, harden::kDuplicateCompare,
+                              harden::kAllFamilies}) {
+            Pipeline a = passes::buildSpecializePipeline(
+                c.vendor, c.level, c.sanitizer, mask);
+            Pipeline b = passes::buildSpecializePipeline(
+                c.vendor, c.level, c.sanitizer, mask);
+            EXPECT_EQ(idsOf(a), idsOf(b)) << c.str();
+            EXPECT_EQ(passes::pipelineFingerprint(a),
+                      passes::pipelineFingerprint(b));
+        }
+    }
+}
+
+TEST(Passes, DistinctInstrumentationSetsGetDistinctFingerprints)
+{
+    auto fp = [](SanitizerKind s, uint32_t mask) {
+        return passes::pipelineFingerprint(passes::buildSpecializePipeline(
+            Vendor::GCC, OptLevel::O2, s, mask));
+    };
+    uint64_t none = fp(SanitizerKind::None, 0);
+    uint64_t asan = fp(SanitizerKind::ASan, 0);
+    uint64_t dup = fp(SanitizerKind::None, harden::kDuplicateCompare);
+    uint64_t all = fp(SanitizerKind::None, harden::kAllFamilies);
+    EXPECT_NE(none, asan);
+    EXPECT_NE(none, dup);
+    EXPECT_NE(dup, all);
+    EXPECT_NE(asan, dup);
+}
+
+TEST(PassesDeathTest, DuplicateNameRegistrationDies)
+{
+    auto factory = [] {
+        return PassRegistry::instance().create("dce");
+    };
+    EXPECT_DEATH_IF_SUPPORTED(
+        PassRegistry::instance().add("constfold", 0x1234567890abcdefULL,
+                                     factory),
+        "registered twice");
+}
+
+TEST(PassesDeathTest, CollidingPipelineIdDies)
+{
+    uint64_t taken =
+        PassRegistry::instance().create("constfold")->pipelineId();
+    auto factory = [] {
+        return PassRegistry::instance().create("dce");
+    };
+    EXPECT_DEATH_IF_SUPPORTED(
+        PassRegistry::instance().add("brand-new-pass", taken, factory),
+        "collides");
+}
+
+TEST(Passes, UnknownPassNameDies)
+{
+    EXPECT_FALSE(PassRegistry::instance().has("no-such-pass"));
+    EXPECT_DEATH_IF_SUPPORTED(
+        PassRegistry::instance().create("no-such-pass"), "unknown pass");
+}
+
+/** The pre-refactor compiler, reconstructed from the legacy entry
+ *  points it was built from: hardcoded opt stage pipelines around
+ *  san::instrument. The registry path must match it bit-for-bit. */
+ir::Module
+legacyCompile(const ir::Module &base, const CompilerConfig &c)
+{
+    ir::Module m = ir::cloneModule(base);
+    opt::runStagePipeline(m, c.vendor, c.level, opt::Stage::EarlyOpt);
+    san::CompileLog log;
+    san::SanitizerContext ctx;
+    ctx.kind = c.sanitizer;
+    ctx.bugs =
+        san::ActiveBugs(c.vendor, c.effectiveVersion(), c.level);
+    ctx.log = &log;
+    san::instrument(m, ctx);
+    opt::runStagePipeline(m, c.vendor, c.level, opt::Stage::LateOpt);
+    return m;
+}
+
+TEST(Passes, RegistryPipelinesMatchLegacyExecutionKeys)
+{
+    // A standard seed mix: the generator's own programs, swept over
+    // every vendor/level and each sanitizer. The registry-built
+    // pipelines must produce byte-identical modules (equal
+    // executionKey) to the hardcoded sequences they replaced — this is
+    // the unit-level form of the campaign digest anchor.
+    std::vector<CompilerConfig> configs = standardConfigs();
+    for (uint64_t seed = 1; seed <= 6; seed++) {
+        gen::GeneratorConfig gc;
+        gc.seed = seed;
+        auto prog = gen::generateProgram(gc);
+        ast::PrintedProgram printed = ast::printProgram(*prog);
+        ir::Module base = compiler::lowerOnce(*prog, printed);
+        for (const CompilerConfig &c : configs) {
+            if (!vendorSupports(c.vendor, c.sanitizer))
+                continue;
+            Binary viaRegistry = compiler::compile(*prog, printed, c);
+            ir::Module viaLegacy = legacyCompile(base, c);
+            EXPECT_EQ(ir::executionKey(viaRegistry.module),
+                      ir::executionKey(viaLegacy))
+                << "seed " << seed << " " << c.str();
+        }
+    }
+}
+
+TEST(Passes, HardenedModuleRecordsItsFamilies)
+{
+    auto prog = frontend::parseOrDie(
+        "int main(void) { __checksum(7l); return 0; }");
+    Binary plain = compiler::compileProgram(
+        *prog, cfg(Vendor::GCC, OptLevel::O2));
+    EXPECT_EQ(plain.module.hardenedWith, 0u);
+    Binary dup = compiler::compileProgram(
+        *prog,
+        cfg(Vendor::GCC, OptLevel::O2, SanitizerKind::None,
+            harden::kDuplicateCompare));
+    EXPECT_EQ(dup.module.hardenedWith, harden::kDuplicateCompare);
+    Binary all = compiler::compileProgram(
+        *prog,
+        cfg(Vendor::GCC, OptLevel::O2, SanitizerKind::None,
+            harden::kAllFamilies));
+    EXPECT_EQ(all.module.hardenedWith, harden::kAllFamilies);
+    // A hardened module never shares an execution identity with the
+    // unhardened build of the same program.
+    EXPECT_NE(ir::executionKey(plain.module), ir::executionKey(all.module));
+}
+
+TEST(PassesDeathTest, RerunningAHardeningFamilyDies)
+{
+    auto prog = frontend::parseOrDie(
+        "int main(void) { __checksum(1l); return 0; }");
+    Binary b = compiler::compileProgram(
+        *prog,
+        cfg(Vendor::GCC, OptLevel::O0, SanitizerKind::None,
+            harden::kDuplicateCompare));
+    auto pass = PassRegistry::instance().create("harden.dup");
+    ir::PassContext ctx;
+    EXPECT_DEATH_IF_SUPPORTED(pass->run(b.module, ctx),
+                              "already hardened");
+}
+
+TEST(Passes, HardeningIsSilentWithoutAnArmedFault)
+{
+    // The zero-drift guarantee at unit scale: on every standard
+    // config, the hardened binary's observable result (kind, report,
+    // exit code, checksum) equals the unhardened one as long as no
+    // FaultPlan is armed.
+    const char *src = R"(int g = 12;
+int main(void) {
+    int a[4] = {3, 1, 4, 1};
+    long acc = 0;
+    for (int i = 0; i < 4; i += 1) {
+        acc += (long)(a[i] * g);
+    }
+    int *p = (int*)__malloc(8l);
+    p[0] = (int)(acc & 1023l);
+    __checksum(acc + (long)p[0]);
+    __free((char*)p);
+    return (int)(acc % 100l);
+}
+)";
+    auto prog = frontend::parseOrDie(src);
+    for (const CompilerConfig &c : standardConfigs()) {
+        if (!vendorSupports(c.vendor, c.sanitizer))
+            continue;
+        Binary plain = compiler::compileProgram(*prog, c);
+        CompilerConfig hc = c;
+        hc.harden = harden::kAllFamilies;
+        Binary hard = compiler::compileProgram(*prog, hc);
+        ExecResult rp = vm::execute(plain.module, {});
+        ExecResult rh = vm::execute(hard.module, {});
+        EXPECT_EQ(rh.kind, rp.kind) << hc.str();
+        EXPECT_EQ(rh.report, rp.report) << hc.str();
+        EXPECT_EQ(rh.exitCode, rp.exitCode) << hc.str();
+        EXPECT_EQ(rh.checksum, rp.checksum) << hc.str();
+    }
+}
+
+TEST(Passes, ArmedFaultsAreDetectedOrMasked)
+{
+    // Sweep deterministic fault plans over a hardened binary: every
+    // flip either leaves the observable result untouched (masked — the
+    // victim was dead) or is caught as a HardeningFault report. A
+    // silent corruption (different result, no report) is the failure
+    // the passes exist to prevent.
+    const char *src = R"(int main(void) {
+    long acc = 1;
+    for (int i = 1; i < 9; i += 1) {
+        acc = acc * (long)i + 3l;
+    }
+    __checksum(acc);
+    return (int)(acc % 97l);
+}
+)";
+    auto prog = frontend::parseOrDie(src);
+    Binary hard = compiler::compileProgram(
+        *prog,
+        cfg(Vendor::GCC, OptLevel::O2, SanitizerKind::None,
+            harden::kAllFamilies));
+    ExecResult base = vm::execute(hard.module, {});
+    ASSERT_EQ(base.kind, ExecResult::Kind::Clean) << base.str();
+    ASSERT_GT(base.steps, 1u);
+
+    size_t detected = 0, silent = 0;
+    for (uint64_t i = 0; i < 48; i++) {
+        vm::FaultPlan plan;
+        plan.step = 1 + (i * 7919) % (base.steps - 1);
+        plan.target = i * 0x9e3779b97f4a7c15ULL + 11;
+        plan.bitIndex = static_cast<uint8_t>((i * 13) % 64);
+        vm::ExecOptions opts;
+        opts.fault = &plan;
+        ExecResult r = vm::execute(hard.module, opts);
+        bool same = r.kind == base.kind && r.report == base.report &&
+                    r.exitCode == base.exitCode &&
+                    r.checksum == base.checksum;
+        if (r.kind == ExecResult::Kind::Report) {
+            EXPECT_EQ(r.report, vm::ReportKind::HardeningFault);
+            detected++;
+        } else if (!same) {
+            silent++;
+        }
+    }
+    EXPECT_GT(detected, 0u);
+    EXPECT_EQ(silent, 0u) << "silent data corruption slipped past "
+                             "the hardening passes";
+}
+
+TEST(Passes, UnhardenedBinaryNeverReportsHardeningFault)
+{
+    // Without the passes there is no HardenCheck to fire: a fault run
+    // on a plain binary can corrupt the result but never reports.
+    auto prog = frontend::parseOrDie(
+        R"(int main(void) {
+    long acc = 5;
+    for (int i = 0; i < 20; i += 1) {
+        acc += (long)(i * 3);
+    }
+    __checksum(acc);
+    return (int)(acc % 50l);
+}
+)");
+    Binary plain = compiler::compileProgram(
+        *prog, cfg(Vendor::GCC, OptLevel::O2));
+    ExecResult base = vm::execute(plain.module, {});
+    ASSERT_GT(base.steps, 1u);
+    for (uint64_t i = 0; i < 16; i++) {
+        vm::FaultPlan plan;
+        plan.step = 1 + (i * 31) % (base.steps - 1);
+        plan.target = i * 0x2545f4914f6cdd1dULL + 1;
+        plan.bitIndex = static_cast<uint8_t>(i % 64);
+        vm::ExecOptions opts;
+        opts.fault = &plan;
+        ExecResult r = vm::execute(plain.module, opts);
+        if (r.kind == ExecResult::Kind::Report)
+            EXPECT_NE(r.report, vm::ReportKind::HardeningFault);
+    }
+}
+
+} // namespace
+} // namespace ubfuzz

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "fuzzer/fuzzer.h"
+#include "harden/harden.h"
 #include "ir/ir.h"
 #include "support/serialize.h"
 
@@ -53,7 +54,8 @@ sampleStats()
 
     fuzzer::FindingRecord f;
     f.kind = ubgen::UBKind::UseAfterFree;
-    f.crashing = {Vendor::GCC, 13, OptLevel::O0, SanitizerKind::ASan};
+    f.crashing = {Vendor::GCC, 13, OptLevel::O0, SanitizerKind::ASan,
+                  harden::kDuplicateCompare};
     f.missing = {Vendor::LLVM, 0, OptLevel::O2, SanitizerKind::ASan};
     f.ubLoc = {12, 3};
     f.groundTruthBug = true;
@@ -83,8 +85,16 @@ sampleStats()
     s.exec.translationCapRejects = 3;
     s.exec.quickenedTranslations = 4;
     s.exec.fusedRecords = 90;
+    s.exec.faultInjections = 16;
     s.execTimeouts = 5;
     s.timeoutExcluded = 4;
+    s.harden.programs = 6;
+    s.harden.faultsInjected = 16;
+    s.harden.faultsDetected = 13;
+    s.harden.faultsMasked = 2;
+    s.harden.faultsSdc = 1;
+    s.harden.driftComparisons = 120;
+    s.harden.driftReports = 0;
 
     fuzzer::CorpusKey key;
     key.textHash = 0xdeadbeefcafef00dULL;
@@ -141,9 +151,9 @@ TEST(Serialize, CampaignStatsGoldenDigest)
     // campaign — bump kSerializeFormatVersion when repinning.
     ByteWriter w;
     support::serialize(w, sampleStats());
-    EXPECT_EQ(support::kSerializeFormatVersion, 2u);
-    EXPECT_EQ(w.size(), 538u);
-    EXPECT_EQ(support::fnv1a(w.data()), 0xed36d74875010966ULL);
+    EXPECT_EQ(support::kSerializeFormatVersion, 3u);
+    EXPECT_EQ(w.size(), 618u);
+    EXPECT_EQ(support::fnv1a(w.data()), 0xa98c5b1423377ee6ULL);
 }
 
 TEST(Serialize, BinaryKeyRoundTrip)

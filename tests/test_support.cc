@@ -8,6 +8,8 @@
 
 #include "ast/printer.h"
 #include "frontend/parser.h"
+#include "fuzzer/fuzzer.h"
+#include "harden/harden.h"
 #include "reduce/reducer.h"
 #include "support/coverage.h"
 #include "support/parse_num.h"
@@ -68,6 +70,45 @@ TEST(ParseNum, EnforcesInclusiveWindows)
     EXPECT_EQ(support::parseInt("0", 0), 0);
     EXPECT_EQ(support::parseInt("0", 1), std::nullopt);
     EXPECT_EQ(support::parseUint64("0", 1), std::nullopt);
+}
+
+TEST(ParseHarden, AcceptsExactFamilyLists)
+{
+    // --harden-passes takes a strict comma list of known families.
+    EXPECT_EQ(harden::parseMask("dup"), harden::kDuplicateCompare);
+    EXPECT_EQ(harden::parseMask("sig"), harden::kCfgSignature);
+    EXPECT_EQ(harden::parseMask("dup,sig"), harden::kAllFamilies);
+    EXPECT_EQ(harden::parseMask("sig,dup"), harden::kAllFamilies);
+    // maskStr renders canonical names parseMask accepts back.
+    EXPECT_EQ(harden::maskStr(harden::kAllFamilies), "dup,sig");
+    EXPECT_EQ(harden::parseMask(harden::maskStr(harden::kCfgSignature)),
+              harden::kCfgSignature);
+}
+
+TEST(ParseHarden, RejectsEmptyDuplicateAndJunkLists)
+{
+    for (const char *bad :
+         {"", "dup,dup", "sig,sig", "dup,", ",sig", "dup,,sig", "bogus",
+          "dup,sig,x", "DUP", "dup sig", "dup;sig", "all"})
+        EXPECT_EQ(harden::parseMask(bad), std::nullopt) << bad;
+}
+
+TEST(ParseSourceMode, AcceptsExactModeNames)
+{
+    using fuzzer::SourceMode;
+    EXPECT_EQ(fuzzer::parseSourceMode("ubfuzz"), SourceMode::UBFuzz);
+    EXPECT_EQ(fuzzer::parseSourceMode("music"), SourceMode::Music);
+    EXPECT_EQ(fuzzer::parseSourceMode("nosafe"),
+              SourceMode::CsmithNoSafe);
+    EXPECT_EQ(fuzzer::parseSourceMode("juliet"), SourceMode::Juliet);
+    EXPECT_EQ(fuzzer::parseSourceMode("harden"), SourceMode::Harden);
+}
+
+TEST(ParseSourceMode, RejectsUnknownPrefixAndCaseVariants)
+{
+    for (const char *bad : {"", "hardened", "harden ", " harden",
+                            "Harden", "ub", "ubfuzz,music", "default"})
+        EXPECT_EQ(fuzzer::parseSourceMode(bad), std::nullopt) << bad;
 }
 
 TEST(ParseShard, AcceptsOneBasedSlices)
