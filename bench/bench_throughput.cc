@@ -166,6 +166,13 @@ main(int argc, char **argv)
     std::printf("drift reports:    %zu (of %zu comparisons)\n",
                 stats.harden.driftReports,
                 stats.harden.driftComparisons);
+    // Supervised-execution accounting (zero outside the campaign
+    // CLI's --isolate mode — the bench always runs in-process, so CI
+    // asserts all four stay zero here).
+    std::printf("worker crashes:   %zu\n", stats.workerCrashes);
+    std::printf("worker timeouts:  %zu\n", stats.workerTimeouts);
+    std::printf("retried attempts: %zu\n", stats.retried);
+    std::printf("quarantined:      %zu\n", stats.quarantined);
     std::printf("finding digest:   %016llx\n",
                 static_cast<unsigned long long>(
                     fuzzer::findingsDigest(stats)));

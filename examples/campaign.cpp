@@ -6,7 +6,8 @@
  *       [--step-limit N] [--seed S] [--cap-per-kind N]
  *       [--mode M] [--fault-rate N] [--harden-passes dup,sig]
  *       [--store DIR] [--resume] [--shard i/N] [--max-units K]
- *       [--serve]
+ *       [--serve] [--isolate] [--unit-timeout MS] [--retries N]
+ *       [--inject crash:U:A | hang:U:A | torn:U:A:BYTES]
  *   ./build/examples/campaign merge --store DIR
  *
  * where source (equivalently `--mode`) is one of: ubfuzz (default),
@@ -26,8 +27,24 @@
  * smoke uses (exit code 3 marks a paused, resumable campaign).
  * `--serve` streams findings as they dedup, one line per new finding,
  * in unit order.
+ *
+ * `--isolate` runs every unit in a forked, supervised worker process
+ * (fuzzer/supervisor): `--unit-timeout MS` SIGKILLs a worker past its
+ * wall-clock deadline, crashes/hangs/torn results retry with backoff
+ * up to `--retries` times, and a unit that exhausts its retries is
+ * quarantined — the campaign completes without it. Crash-free results
+ * are bit-identical to a non-isolated run. `--inject` forces a
+ * deterministic worker fault on unit U's first A attempts (A = -1 for
+ * all; torn also takes the byte offset to cut the result frame at) —
+ * the CI smoke's stand-in for a genuinely misbehaving unit.
+ *
+ * SIGINT/SIGTERM pause gracefully: live workers are killed, everything
+ * already folded stays journaled, and the exit code is 3 — rerun with
+ * `--resume` to continue.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +61,18 @@ namespace {
 
 /** Exit code for a paused (incomplete but resumable) campaign. */
 constexpr int kExitPaused = 3;
+
+/** Flipped by SIGINT/SIGTERM; the service checks it between units and
+ *  inside the supervisor's watch loop (killing live workers), so a
+ *  Ctrl-C flushes the journal at the fold frontier instead of dying
+ *  mid-append. */
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+onStopSignal(int)
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
 
 /**
  * Strict flag parsing via support::parseInt: "4O0" aborts instead of
@@ -135,6 +164,10 @@ printStats(const fuzzer::CampaignStats &stats)
                         h.faultsDetected * 100 / observable);
         }
     }
+    std::printf("worker crashes:           %zu\n", stats.workerCrashes);
+    std::printf("worker timeouts:          %zu\n", stats.workerTimeouts);
+    std::printf("retried attempts:         %zu\n", stats.retried);
+    std::printf("quarantined units:        %zu\n", stats.quarantined);
     std::printf("finding digest:           %016llx\n",
                 static_cast<unsigned long long>(
                     fuzzer::findingsDigest(stats)));
@@ -189,6 +222,7 @@ main(int argc, char **argv)
     std::string storeDir;
     bool resume = false;
     bool serve = false;
+    const char *sawSupervisionFlag = nullptr;
     campaign::ShardSpec shard;
     int maxUnits = -1;
     int positional = 0;
@@ -252,6 +286,32 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--max-units")) {
             maxUnits =
                 parseIntArg("--max-units", requireValue(argc, argv, i), 0);
+        } else if (!std::strcmp(argv[i], "--isolate")) {
+            cfg.isolate = true;
+        } else if (!std::strcmp(argv[i], "--unit-timeout")) {
+            // A zero deadline would kill every worker on arrival, so
+            // the minimum is one millisecond.
+            cfg.unitTimeoutMs = parseU64Arg(
+                "--unit-timeout", requireValue(argc, argv, i), 1);
+            sawSupervisionFlag = "--unit-timeout";
+        } else if (!std::strcmp(argv[i], "--retries")) {
+            cfg.retries =
+                parseIntArg("--retries", requireValue(argc, argv, i), 0);
+            sawSupervisionFlag = "--retries";
+        } else if (!std::strcmp(argv[i], "--inject")) {
+            const char *text = requireValue(argc, argv, i);
+            auto inj = fuzzer::parseFailureInjection(text);
+            if (!inj) {
+                std::fprintf(stderr,
+                             "--inject: invalid spec '%s' (want "
+                             "crash:UNIT:ATTEMPTS, hang:UNIT:ATTEMPTS, "
+                             "or torn:UNIT:ATTEMPTS:BYTES; ATTEMPTS -1 "
+                             "means every attempt)\n",
+                             text);
+                return 2;
+            }
+            cfg.failureInjection = *inj;
+            sawSupervisionFlag = "--inject";
         } else if (positional == 0) {
             cfg.numSeeds = parseIntArg("numSeeds", argv[i], 1);
             positional++;
@@ -275,6 +335,11 @@ main(int argc, char **argv)
         std::fprintf(stderr, "--resume requires --store DIR\n");
         return 2;
     }
+    if (sawSupervisionFlag && !cfg.isolate) {
+        std::fprintf(stderr, "%s requires --isolate\n",
+                     sawSupervisionFlag);
+        return 2;
+    }
 
     std::unique_ptr<campaign::CampaignStore> store;
     if (!storeDir.empty()) {
@@ -288,11 +353,12 @@ main(int argc, char **argv)
     }
 
     std::printf("campaign: %d seeds, source=%s, jobs=%d, step limit "
-                "%llu, shard %d/%d%s%s\n",
+                "%llu, shard %d/%d%s%s%s\n",
                 cfg.numSeeds, fuzzer::sourceModeName(cfg.source),
                 fuzzer::resolveJobs(cfg.jobs),
                 static_cast<unsigned long long>(cfg.stepLimit),
                 shard.index, shard.count,
+                cfg.isolate ? ", isolated workers" : "",
                 store ? ", store " : "",
                 store ? storeDir.c_str() : "");
 
@@ -300,6 +366,9 @@ main(int argc, char **argv)
     opts.shard = shard;
     opts.store = store.get();
     opts.maxFreshUnits = maxUnits;
+    opts.stopRequested = &g_stop;
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
     // Streaming mode: findings print the moment their unit folds —
     // strict unit order, so the stream is identical run to run, and a
     // replayed unit streams exactly what its live run once did.
@@ -329,7 +398,9 @@ main(int argc, char **argv)
                 res.complete ? "" : " (paused)");
     printStats(res.stats);
     if (!res.complete) {
-        std::printf("campaign paused; rerun with --resume to continue\n");
+        std::printf("campaign paused%s; rerun with --resume to "
+                    "continue\n",
+                    g_stop.load() ? " by signal" : "");
         return kExitPaused;
     }
     return 0;

@@ -59,6 +59,7 @@ encodeRecord(const UnitRecord &rec)
 {
     ByteWriter payload;
     payload.u32(static_cast<uint32_t>(rec.unit));
+    payload.u8(rec.quarantined ? 1 : 0);
     support::serialize(payload, rec.stats);
     payload.u32(static_cast<uint32_t>(rec.memoAdds.size()));
     for (const auto &[key, delta] : rec.memoAdds) {
@@ -76,6 +77,10 @@ decodePayload(std::string_view payload, UnitRecord &rec)
 {
     ByteReader r(payload);
     rec.unit = static_cast<int>(r.u32());
+    uint8_t kind = r.u8();
+    if (kind > 1)
+        return false; // unknown record kind, as fatal as a checksum miss
+    rec.quarantined = kind == 1;
     if (!support::deserialize(r, rec.stats))
         return false;
     uint32_t n = r.u32();

@@ -21,8 +21,14 @@
  *              | campaign seed u64 | config hash u64
  *              | shard index u32 | shard count u32 | unit count u32
  *   record*:   payload length u32 | FNV-1a(payload) u64 | payload
- *   payload:   unit index u32 | CampaignStats delta
+ *   payload:   unit index u32 | record kind u8 | CampaignStats delta
  *              | memo-add count u32 | (CorpusKey, CampaignStats)*
+ *
+ * Record kinds: 0 = completed (the delta is the unit's full stats),
+ * 1 = quarantined (the supervised unit exhausted its retries; the
+ * delta carries only the supervision counters, so replay neither
+ * re-runs nor double-counts the unit and the campaign still merges as
+ * complete). Anything else fails the record, like a checksum would.
  *
  * Crash safety: records are framed with a length and checksum and the
  * file is flushed after every append, so a crash can only tear the
@@ -49,7 +55,7 @@ namespace ubfuzz::campaign {
 
 /** Journal format version (the manifest also embeds the serializer
  *  version, support::kSerializeFormatVersion, as its code version). */
-inline constexpr uint32_t kJournalFormatVersion = 1;
+inline constexpr uint32_t kJournalFormatVersion = 2;
 
 /**
  * One process's slice of a campaign: shard `index` of `count` owns
@@ -94,6 +100,9 @@ struct Manifest
 struct UnitRecord
 {
     int unit = 0;
+    /** True for a quarantine record: the unit never completed; `stats`
+     *  holds only supervision counters and `memoAdds` is empty. */
+    bool quarantined = false;
     fuzzer::CampaignStats stats;
     std::vector<std::pair<fuzzer::CorpusKey, fuzzer::CampaignStats>>
         memoAdds;

@@ -10,6 +10,7 @@
 #include "mutation/music.h"
 #include "oracle/oracle.h"
 #include "support/diagnostics.h"
+#include "support/parse_num.h"
 #include "support/rng.h"
 #include "vm/bytecode.h"
 #include "vm/vm.h"
@@ -45,6 +46,54 @@ parseSourceMode(std::string_view text)
     if (text == "harden")
         return SourceMode::Harden;
     return std::nullopt;
+}
+
+std::optional<FailureInjection>
+parseFailureInjection(std::string_view text)
+{
+    std::vector<std::string_view> fields;
+    while (true) {
+        size_t colon = text.find(':');
+        fields.push_back(text.substr(0, colon));
+        if (colon == std::string_view::npos)
+            break;
+        text.remove_prefix(colon + 1);
+    }
+
+    FailureInjection inj;
+    if (fields[0] == "crash")
+        inj.kind = FailureInjection::Kind::Crash;
+    else if (fields[0] == "hang")
+        inj.kind = FailureInjection::Kind::Hang;
+    else if (fields[0] == "torn")
+        inj.kind = FailureInjection::Kind::TornPipe;
+    else
+        return std::nullopt;
+
+    // crash/hang take exactly UNIT:ATTEMPTS; torn additionally takes
+    // the byte offset its write is cut at. Nothing is optional.
+    const size_t want =
+        inj.kind == FailureInjection::Kind::TornPipe ? 4u : 3u;
+    if (fields.size() != want)
+        return std::nullopt;
+    auto unit = support::parseInt(fields[1], 0);
+    if (!unit)
+        return std::nullopt;
+    inj.unit = *unit;
+    // ATTEMPTS is a count of failing attempts (>= 1) or the literal
+    // -1 for "every attempt"; 0 would make the injection a no-op, so
+    // it is a usage error, not a value.
+    auto attempts = support::parseInt(fields[2], -1);
+    if (!attempts || *attempts == 0)
+        return std::nullopt;
+    inj.attempts = *attempts;
+    if (inj.kind == FailureInjection::Kind::TornPipe) {
+        auto bytes = support::parseUint64(fields[3]);
+        if (!bytes)
+            return std::nullopt;
+        inj.tornBytes = *bytes;
+    }
+    return inj;
 }
 
 UBKind
@@ -681,6 +730,10 @@ mergeCampaignStats(CampaignStats &into, CampaignStats &&from)
     into.exec.merge(from.exec);
     into.execTimeouts += from.execTimeouts;
     into.timeoutExcluded += from.timeoutExcluded;
+    into.workerCrashes += from.workerCrashes;
+    into.workerTimeouts += from.workerTimeouts;
+    into.retried += from.retried;
+    into.quarantined += from.quarantined;
     into.harden.merge(from.harden);
     // Fold the corpus seen-set in unit order: occurrences of a key an
     // earlier unit already tested are cross-seed duplicates. `from`'s

@@ -57,6 +57,56 @@ const char *sourceModeName(SourceMode m);
  */
 std::optional<SourceMode> parseSourceMode(std::string_view text);
 
+/**
+ * Deterministic in-tree fault hook for the supervised (`--isolate`)
+ * execution layer — the supervisor's analogue of vm::FaultPlan. It
+ * makes a chosen unit's worker misbehave on its first `attempts`
+ * supervised attempts (crash before producing a result, hang past the
+ * deadline, or die mid-write leaving a torn result frame), after which
+ * the unit succeeds normally. Tests and the CI smoke drive the
+ * retry/backoff/quarantine machinery through this instead of relying
+ * on real nondeterministic failures.
+ */
+struct FailureInjection
+{
+    enum class Kind : uint8_t {
+        None,     ///< no injected failure
+        Crash,    ///< worker _exits before writing any result bytes
+        Hang,     ///< worker blocks forever (deadline watchdog food)
+        TornPipe, ///< worker writes only `tornBytes` of its frame
+    };
+
+    Kind kind = Kind::None;
+    /** Campaign unit whose worker misbehaves. */
+    int unit = -1;
+    /** Fail the first `attempts` supervised attempts, then succeed;
+     *  negative means every attempt (forces quarantine). */
+    int attempts = 1;
+    /** TornPipe only: result-frame bytes written before the worker
+     *  dies (0 = dies before writing anything). */
+    uint64_t tornBytes = 0;
+
+    bool
+    firesOn(int forUnit, int attempt) const
+    {
+        return kind != Kind::None && forUnit == unit &&
+               (attempts < 0 || attempt < attempts);
+    }
+
+    friend bool operator==(const FailureInjection &,
+                           const FailureInjection &) = default;
+};
+
+/**
+ * Strict CLI parser for `--inject`: `crash:UNIT:ATTEMPTS`,
+ * `hang:UNIT:ATTEMPTS`, or `torn:UNIT:ATTEMPTS:BYTES`, with UNIT >= 0
+ * and ATTEMPTS >= 1 or exactly -1 ("every attempt"). Anything else —
+ * unknown kinds, missing or extra fields, junk numbers — is
+ * std::nullopt.
+ */
+std::optional<FailureInjection>
+parseFailureInjection(std::string_view text);
+
 struct CampaignConfig
 {
     uint64_t seed = 1;
@@ -111,6 +161,27 @@ struct CampaignConfig
     /** Hardening families compiled into the twins (harden::k* bits;
      *  `--harden-passes` on the CLI). */
     uint32_t hardenPasses = harden::kAllFamilies;
+    /**
+     * Supervised execution (`--isolate`): run every campaign unit in a
+     * forked worker process that streams its stats delta and corpus
+     * memo adds back over a pipe, so a crashing, hanging, or aborting
+     * unit costs one retry (and eventually one quarantine record), not
+     * the whole campaign. Crash-free runs are bit-identical with this
+     * on or off, for any `jobs` value — the supervisor folds worker
+     * results behind the same unit-order frontier the in-process path
+     * uses. Like `jobs`, none of the fields below enter the journal's
+     * configHash: a campaign may legally resume with different
+     * supervision settings.
+     */
+    bool isolate = false;
+    /** Per-unit wall-clock deadline in milliseconds, enforced by
+     *  SIGKILL (`--unit-timeout`); 0 disables the watchdog. */
+    uint64_t unitTimeoutMs = 0;
+    /** Supervised re-attempts after a worker crash or timeout before
+     *  the unit is quarantined (`--retries`; 0 = no retries). */
+    int retries = 2;
+    /** Deterministic worker-failure hook (`--inject`; tests/CI). */
+    FailureInjection failureInjection;
 };
 
 /**
@@ -292,6 +363,25 @@ struct CampaignStats
     /** Timed-out binaries excluded from discrepancy pairing. */
     size_t timeoutExcluded = 0;
 
+    /**
+     * Supervised-execution counters (`--isolate`; all zero otherwise,
+     * which bench_throughput's CI smoke asserts). Crash-free runs keep
+     * all four at zero, so they never perturb the digest grid; with
+     * failures (real or injected) every failed attempt lands in
+     * exactly one of crashes/timeouts, every re-attempt in `retried`,
+     * and every abandoned unit in `quarantined` — no silent loss.
+     * A quarantined unit contributes nothing else, so the accounting
+     * identities (statsInvariantViolation) hold with both sides simply
+     * missing its share. The counters are journaled with their unit's
+     * record (quarantine records carry the failing unit's attempt
+     * tally), so a resumed campaign reproduces them without re-running
+     * anything.
+     */
+    size_t workerCrashes = 0;  ///< attempts dead before a complete frame
+    size_t workerTimeouts = 0; ///< attempts SIGKILLed at the deadline
+    size_t retried = 0;        ///< re-attempts after a crash/timeout
+    size_t quarantined = 0;    ///< units abandoned after retry exhaustion
+
     /** Hardening-oracle counters (Harden mode; zero elsewhere). */
     HardenStats harden;
 
@@ -395,6 +485,21 @@ class CorpusMemo
     {
         std::lock_guard<std::mutex> lock(mu_);
         return map_.size();
+    }
+
+    /**
+     * Lock to hold across fork(). A worker child inherits the memo by
+     * copy-on-write; if another campaign thread held `mu_` at the fork
+     * moment, the child's copy of the mutex would be locked forever
+     * (its owner does not exist there) and the map possibly mid-update.
+     * The supervisor takes this lock, forks, and releases it on both
+     * sides — the forking thread continues in the child, so the child
+     * releases a lock it legitimately owns and sees a consistent map.
+     */
+    std::unique_lock<std::mutex>
+    forkLock()
+    {
+        return std::unique_lock<std::mutex>(mu_);
     }
 
   private:

@@ -3,9 +3,11 @@
 #include <atomic>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "fuzzer/supervisor.h"
 #include "support/diagnostics.h"
 
 namespace ubfuzz::fuzzer {
@@ -128,25 +130,60 @@ runCampaignService(const CampaignConfig &config,
                               : static_cast<size_t>(opts.maxFreshUnits);
     const size_t toRun = std::min(budget, fresh.size());
 
+    auto stopped = [&] {
+        return opts.stopRequested &&
+               opts.stopRequested->load(std::memory_order_relaxed);
+    };
+
     // Run one fresh unit and journal it. Journaling happens at
     // completion time (the store serializes appends internally), so a
     // kill loses at most the units still computing — never a completed
     // one — and the journal's record order is irrelevant: each record
-    // carries its unit index and replay folds by index.
-    auto runOne = [&](size_t p) {
+    // carries its unit index and replay folds by index. Under
+    // `--isolate` the unit runs in a forked, deadline-watched worker
+    // (fuzzer/supervisor); a unit that exhausts its retries journals a
+    // quarantine record instead, so the campaign still completes.
+    // Returns nullopt only for a stop-aborted unit, which is neither
+    // journaled nor folded and re-runs on resume.
+    auto runOne = [&](size_t p) -> std::optional<CampaignStats> {
         int unit = owned[p];
-        detail::UnitOutput out =
-            detail::runCampaignUnitRecorded(config, unit, &memo);
-        if (opts.store) {
-            campaign::UnitRecord rec;
-            rec.unit = unit;
-            rec.stats = out.stats;
+        campaign::UnitRecord rec;
+        rec.unit = unit;
+        if (config.isolate) {
+            SuperviseOutcome sup = superviseUnit(
+                config, unit, &memo, opts.stopRequested);
+            if (sup.kind == SuperviseOutcome::Kind::Aborted)
+                return std::nullopt;
+            if (sup.kind == SuperviseOutcome::Kind::Quarantined) {
+                rec.quarantined = true;
+                rec.stats.quarantined = 1;
+            } else {
+                // The supervisor, not the worker, owns the memo: fold
+                // the worker's adds in exactly as journal replay would.
+                for (auto &[key, delta] : sup.out.memoAdds)
+                    memo.insert(key, delta);
+                rec.stats = std::move(sup.out.stats);
+                rec.memoAdds.reserve(sup.out.memoAdds.size());
+                for (auto &[key, delta] : sup.out.memoAdds)
+                    rec.memoAdds.emplace_back(key, *delta);
+            }
+            // Attempt accounting merges into the unit's own journaled
+            // delta, so a replay reproduces the live stats field for
+            // field even for injected-failure runs.
+            rec.stats.workerCrashes += sup.workerCrashes;
+            rec.stats.workerTimeouts += sup.workerTimeouts;
+            rec.stats.retried += sup.retried;
+        } else {
+            detail::UnitOutput out =
+                detail::runCampaignUnitRecorded(config, unit, &memo);
+            rec.stats = std::move(out.stats);
             rec.memoAdds.reserve(out.memoAdds.size());
             for (auto &[key, delta] : out.memoAdds)
                 rec.memoAdds.emplace_back(key, *delta);
-            opts.store->append(rec);
         }
-        return std::move(out.stats);
+        if (opts.store)
+            opts.store->append(rec);
+        return std::move(rec.stats);
     };
 
     int jobs = resolveJobs(config.jobs);
@@ -158,8 +195,12 @@ runCampaignService(const CampaignConfig &config,
         // always points at the next fresh position.
         size_t freshDone = 0;
         fold();
-        while (frontier < owned.size() && freshDone < toRun) {
-            pending.emplace(frontier, Slot{runOne(frontier), false});
+        while (frontier < owned.size() && freshDone < toRun &&
+               !stopped()) {
+            std::optional<CampaignStats> stats = runOne(frontier);
+            if (!stats)
+                break; // stop request aborted the unit mid-run
+            pending.emplace(frontier, Slot{std::move(*stats), false});
             freshDone++;
             fold();
         }
@@ -170,17 +211,23 @@ runCampaignService(const CampaignConfig &config,
         // path. A completed unit is folded into the total in strict
         // position order under the fold mutex.
         std::atomic<size_t> cursor{0};
+        std::atomic<int> ran{0};
         std::mutex foldMutex;
         auto work = [&] {
             for (;;) {
+                if (stopped())
+                    return;
                 size_t k =
                     cursor.fetch_add(1, std::memory_order_relaxed);
                 if (k >= toRun)
                     return;
                 size_t p = fresh[k];
-                CampaignStats stats = runOne(p);
+                std::optional<CampaignStats> stats = runOne(p);
+                if (!stats)
+                    return; // stop request aborted the unit mid-run
+                ran.fetch_add(1, std::memory_order_relaxed);
                 std::lock_guard<std::mutex> lock(foldMutex);
-                pending.emplace(p, Slot{std::move(stats), false});
+                pending.emplace(p, Slot{std::move(*stats), false});
                 fold();
             }
         };
@@ -193,10 +240,14 @@ runCampaignService(const CampaignConfig &config,
         // Drain any replayed tail (and handle the all-replayed case,
         // where no worker ever folds).
         fold();
-        res.unitsRun = static_cast<int>(toRun);
+        res.unitsRun = ran.load();
     }
 
     res.complete = frontier == owned.size();
+    // Each quarantined unit folded a delta whose only nonzero field
+    // pack is the supervision counters (quarantined == 1), so the
+    // merged count *is* the unit count — for fresh and replayed alike.
+    res.unitsQuarantined = static_cast<int>(res.stats.quarantined);
     if (res.complete && opts.store && res.unitsReplayed > 0) {
         // Stats-accounting drift on resume fails loudly: the merged
         // (replayed + fresh) totals must satisfy the same per-unit

@@ -25,6 +25,7 @@
 #ifndef UBFUZZ_FUZZER_ORCHESTRATOR_H
 #define UBFUZZ_FUZZER_ORCHESTRATOR_H
 
+#include <atomic>
 #include <functional>
 
 #include "campaign/store.h"
@@ -68,6 +69,16 @@ struct ServiceOptions
     std::function<void(int unit, const CampaignStats &delta,
                        bool replayed)>
         onUnitFolded;
+
+    /**
+     * Graceful-pause flag, or null. When it flips (the CLI sets it from
+     * SIGINT/SIGTERM), no new units are claimed, live isolated workers
+     * are SIGKILLed, and the run returns with everything already folded
+     * and journaled — `complete == false`, resumable exactly like a
+     * maxFreshUnits pause. Aborted units are neither journaled nor
+     * folded; they re-run on resume.
+     */
+    const std::atomic<bool> *stopRequested = nullptr;
 };
 
 /** What a service run did, beyond the folded stats. */
@@ -78,6 +89,10 @@ struct ServiceResult
     int unitsOwned = 0;
     int unitsReplayed = 0;
     int unitsRun = 0;
+    /** Units (replayed or fresh) that folded as quarantine records —
+     *  every retry was exhausted; the campaign completed without them.
+     *  Always 0 outside `--isolate`. */
+    int unitsQuarantined = 0;
     /** Every owned unit folded (false after a maxFreshUnits pause —
      *  `stats` is then a prefix, not a campaign result). */
     bool complete = false;

@@ -195,6 +195,11 @@ serialize(ByteWriter &w, const fuzzer::CampaignStats &s)
     w.u64(s.harden.faultsSdc);
     w.u64(s.harden.driftComparisons);
     w.u64(s.harden.driftReports);
+
+    w.u64(s.workerCrashes);
+    w.u64(s.workerTimeouts);
+    w.u64(s.retried);
+    w.u64(s.quarantined);
 }
 
 bool
@@ -286,6 +291,11 @@ deserialize(ByteReader &r, fuzzer::CampaignStats &s)
     s.harden.faultsSdc = r.u64();
     s.harden.driftComparisons = r.u64();
     s.harden.driftReports = r.u64();
+
+    s.workerCrashes = r.u64();
+    s.workerTimeouts = r.u64();
+    s.retried = r.u64();
+    s.quarantined = r.u64();
     return r.ok();
 }
 

@@ -50,7 +50,7 @@ namespace support {
  * campaign store writes it into every journal manifest and refuses to
  * replay a journal from a different format version.
  */
-inline constexpr uint32_t kSerializeFormatVersion = 3;
+inline constexpr uint32_t kSerializeFormatVersion = 4;
 
 /** Append-only little-endian byte sink. */
 class ByteWriter

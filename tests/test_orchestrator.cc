@@ -317,6 +317,151 @@ TEST(Service, ShardedStoresMergeToUninterruptedCampaign)
     }
 }
 
+TEST(Service, IsolatedWorkersAreBitIdentical)
+{
+    // The tentpole determinism claim at service granularity: forked,
+    // supervised workers produce the same campaign as in-process
+    // units, for any jobs value — a worker is a fork computing the
+    // identical unit, and results fold behind the same frontier.
+    CampaignConfig cfg;
+    cfg.seed = 11;
+    cfg.numSeeds = 8;
+    cfg.capPerKind = 2;
+    cfg.jobs = 1;
+    CampaignStats inProcess = runCampaignParallel(cfg);
+    ASSERT_GT(inProcess.findings.size(), 0u);
+
+    cfg.isolate = true;
+    for (int jobs : {1, 4}) {
+        SCOPED_TRACE(jobs);
+        cfg.jobs = jobs;
+        ServiceResult res = runCampaignService(cfg, ServiceOptions{});
+        EXPECT_TRUE(res.complete);
+        EXPECT_EQ(res.unitsQuarantined, 0);
+        expectIdentical(inProcess, res.stats);
+        EXPECT_EQ(findingsDigest(res.stats),
+                  findingsDigest(inProcess));
+        // Crash-free supervision leaves no accounting trace at all.
+        EXPECT_EQ(res.stats.workerCrashes, 0u);
+        EXPECT_EQ(res.stats.workerTimeouts, 0u);
+        EXPECT_EQ(res.stats.retried, 0u);
+        EXPECT_EQ(res.stats.quarantined, 0u);
+        if (jobs == 1)
+            EXPECT_EQ(res.stats, inProcess);
+    }
+}
+
+TEST(Service, QuarantinedUnitSurvivesResumeWithoutDoubleCounting)
+{
+    // Unit 3 crashes on every attempt: the campaign must complete
+    // around it (quarantine record), and a --resume must neither
+    // re-run it nor double-count anything.
+    CampaignConfig cfg;
+    cfg.seed = 11;
+    cfg.numSeeds = 8;
+    cfg.capPerKind = 2;
+    cfg.jobs = 1;
+    cfg.isolate = true;
+    cfg.retries = 1;
+    cfg.failureInjection =
+        FailureInjection{FailureInjection::Kind::Crash, 3, -1, 0};
+
+    TempDir dir("quarantine");
+    campaign::Manifest m =
+        campaign::manifestFor(cfg, campaign::ShardSpec{});
+    std::string error;
+    auto store =
+        campaign::CampaignStore::open(dir.str(), m, false, &error);
+    ASSERT_TRUE(store) << error;
+    ServiceOptions opts;
+    opts.store = store.get();
+    ServiceResult live = runCampaignService(cfg, opts);
+    EXPECT_TRUE(live.complete);
+    EXPECT_EQ(live.unitsRun, 8);
+    EXPECT_EQ(live.unitsQuarantined, 1);
+    EXPECT_EQ(live.stats.quarantined, 1u);
+    EXPECT_EQ(live.stats.retried, 1u);
+    EXPECT_EQ(live.stats.workerCrashes, 2u);
+    // The quarantined unit contributes nothing to either side of any
+    // accounting identity — the satellite's headline check:
+    // machinesBuilt + corpusSkips == ubPrograms + harden.programs.
+    EXPECT_EQ(statsInvariantViolation(live.stats), "");
+    EXPECT_EQ(live.stats.exec.machinesBuilt +
+                  live.stats.exec.corpusSkips,
+              live.stats.ubPrograms + live.stats.harden.programs);
+    store.reset();
+
+    // Resume: all 8 units (the quarantine record included) replay;
+    // nothing re-runs, and the totals are field-for-field what the
+    // live run reported — no double-count, no silent loss.
+    store = campaign::CampaignStore::open(dir.str(), m, true, &error);
+    ASSERT_TRUE(store) << error;
+    ServiceOptions resumeOpts;
+    resumeOpts.store = store.get();
+    ServiceResult resumed = runCampaignService(cfg, resumeOpts);
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_EQ(resumed.unitsReplayed, 8);
+    EXPECT_EQ(resumed.unitsRun, 0);
+    EXPECT_EQ(resumed.unitsQuarantined, 1);
+    EXPECT_EQ(resumed.stats, live.stats);
+    EXPECT_EQ(statsInvariantViolation(resumed.stats), "");
+    store.reset();
+
+    // The store still merges as a complete campaign: quarantine is a
+    // first-class record, not a hole.
+    campaign::MergeResult merged = campaign::mergeStore(dir.str());
+    ASSERT_TRUE(merged.ok) << merged.error;
+    EXPECT_EQ(merged.unitsMerged, 8u);
+    EXPECT_EQ(merged.stats, live.stats);
+}
+
+TEST(Service, StopRequestPausesResumably)
+{
+    CampaignConfig cfg;
+    cfg.seed = 11;
+    cfg.numSeeds = 8;
+    cfg.capPerKind = 2;
+    cfg.jobs = 1;
+    CampaignStats uninterrupted = runCampaignParallel(cfg);
+
+    TempDir dir("stop");
+    campaign::Manifest m =
+        campaign::manifestFor(cfg, campaign::ShardSpec{});
+    std::string error;
+    auto store =
+        campaign::CampaignStore::open(dir.str(), m, false, &error);
+    ASSERT_TRUE(store) << error;
+
+    // Flip the stop flag from the fold callback after three units —
+    // the in-test stand-in for SIGINT arriving mid-campaign. The
+    // journal must already hold everything folded so far.
+    std::atomic<bool> stop{false};
+    int folds = 0;
+    ServiceOptions opts;
+    opts.store = store.get();
+    opts.stopRequested = &stop;
+    opts.onUnitFolded = [&](int, const CampaignStats &, bool) {
+        if (++folds == 3)
+            stop.store(true);
+    };
+    ServiceResult paused = runCampaignService(cfg, opts);
+    EXPECT_FALSE(paused.complete);
+    EXPECT_EQ(paused.unitsRun, 3);
+    store.reset();
+
+    store = campaign::CampaignStore::open(dir.str(), m, true, &error);
+    ASSERT_TRUE(store) << error;
+    ServiceOptions resumeOpts;
+    resumeOpts.store = store.get();
+    ServiceResult resumed = runCampaignService(cfg, resumeOpts);
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_EQ(resumed.unitsReplayed, 3);
+    EXPECT_EQ(resumed.unitsRun, 5);
+    EXPECT_EQ(resumed.stats, uninterrupted);
+    EXPECT_EQ(findingsDigest(resumed.stats),
+              findingsDigest(uninterrupted));
+}
+
 TEST(Service, TinyCapsAreBitIdentical)
 {
     // Shrink the corpus memo and the per-unit code cache to 4 entries:

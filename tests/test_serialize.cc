@@ -95,6 +95,10 @@ sampleStats()
     s.harden.faultsSdc = 1;
     s.harden.driftComparisons = 120;
     s.harden.driftReports = 0;
+    s.workerCrashes = 3;
+    s.workerTimeouts = 1;
+    s.retried = 4;
+    s.quarantined = 1;
 
     fuzzer::CorpusKey key;
     key.textHash = 0xdeadbeefcafef00dULL;
@@ -151,9 +155,11 @@ TEST(Serialize, CampaignStatsGoldenDigest)
     // campaign — bump kSerializeFormatVersion when repinning.
     ByteWriter w;
     support::serialize(w, sampleStats());
-    EXPECT_EQ(support::kSerializeFormatVersion, 3u);
-    EXPECT_EQ(w.size(), 618u);
-    EXPECT_EQ(support::fnv1a(w.data()), 0xa98c5b1423377ee6ULL);
+    // Version 4 appended the four supervision counters (worker
+    // crashes/timeouts, retried, quarantined) after the harden block.
+    EXPECT_EQ(support::kSerializeFormatVersion, 4u);
+    EXPECT_EQ(w.size(), 650u);
+    EXPECT_EQ(support::fnv1a(w.data()), 0xd84be5ff79ef3021ULL);
 }
 
 TEST(Serialize, BinaryKeyRoundTrip)

@@ -101,6 +101,15 @@ TEST(ConfigHash, CoversLogicalFieldsOnly)
     b.corpusMemoCap = 4;
     b.codeCacheCap = 4;
     EXPECT_EQ(configHash(a), configHash(b));
+    // Supervision settings likewise: crash-free results are identical
+    // with or without isolation, so a journal written under --isolate
+    // resumes in-process (and vice versa) — and retuning the watchdog
+    // or retry budget must not orphan a half-finished campaign.
+    b.isolate = true;
+    b.unitTimeoutMs = 5000;
+    b.retries = 7;
+    b.failureInjection = *fuzzer::parseFailureInjection("crash:3:-1");
+    EXPECT_EQ(configHash(a), configHash(b));
     // Everything that changes logical results changes the hash.
     b = a;
     b.seed = 12;
@@ -177,6 +186,62 @@ TEST(Store, AppendThenResumeRoundTripsRecords)
     auto again = CampaignStore::open(dir.str(), m, true, &error);
     ASSERT_TRUE(again) << error;
     EXPECT_EQ(again->takeReplayed().size(), 4u);
+}
+
+TEST(Store, QuarantineRecordsRoundTripAndUnknownKindsAreRejected)
+{
+    TempDir dir("quarantine");
+    Manifest m = manifestFor(smallConfig(), ShardSpec{});
+    std::string error;
+    auto store = CampaignStore::open(dir.str(), m, false, &error);
+    ASSERT_TRUE(store) << error;
+    store->append(sampleRecord(0));
+    // A quarantined unit journals only its supervision counters — no
+    // findings, no memo adds — so replay can fold it without either
+    // re-running the unit or double-counting anything.
+    UnitRecord q;
+    q.unit = 1;
+    q.quarantined = true;
+    q.stats.quarantined = 1;
+    q.stats.workerCrashes = 2;
+    q.stats.workerTimeouts = 1;
+    q.stats.retried = 2;
+    store->append(q);
+    store.reset();
+
+    auto resumed = CampaignStore::open(dir.str(), m, true, &error);
+    ASSERT_TRUE(resumed) << error;
+    std::map<int, UnitRecord> records = resumed->takeReplayed();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_FALSE(records[0].quarantined);
+    EXPECT_TRUE(records[1].quarantined);
+    EXPECT_EQ(records[1].stats, q.stats);
+    EXPECT_TRUE(records[1].memoAdds.empty());
+    resumed.reset();
+
+    // The record-kind byte sits right after the unit index (u32) in
+    // the first record's payload; any value above 1 must fail the
+    // record like a checksum miss would — but since the payload is
+    // checksummed, flip the byte *and* observe the checksum catches
+    // it first (kind enforcement is belt for future format bumps).
+    const fs::path path =
+        fs::path(dir.str()) / CampaignStore::journalFileName(m.shard);
+    std::string bytes = readFileBytes(path);
+    // manifest is 8 (magic) + 4+4+8+8+4+4+4 = 44 bytes; then frame
+    // header (12) + unit u32 (4) puts the kind byte at offset 60.
+    ASSERT_GT(bytes.size(), 61u);
+    bytes[60] = 7;
+    writeFileBytes(path, bytes);
+    Manifest got;
+    std::map<int, UnitRecord> recovered;
+    size_t dropped = 0;
+    ASSERT_TRUE(readJournal(path.string(), got, recovered, &dropped,
+                            &error))
+        << error;
+    // The corrupted first record (and everything after it, per the
+    // torn-tail discipline) is dropped.
+    EXPECT_TRUE(recovered.empty());
+    EXPECT_GT(dropped, 0u);
 }
 
 TEST(Store, FreshOpenRefusesExistingJournal)

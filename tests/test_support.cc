@@ -131,6 +131,72 @@ TEST(ParseShard, RejectsMalformedSlices)
     }
 }
 
+TEST(ParseSupervisionFlags, UnitTimeoutAndRetriesWindows)
+{
+    // --unit-timeout: any uint64 >= 1 ms, same strict grammar as the
+    // other numeric flags (no sign, no suffix, no embedded junk).
+    EXPECT_EQ(support::parseUint64("1", 1), 1u);
+    EXPECT_EQ(support::parseUint64("250", 1), 250u);
+    EXPECT_EQ(support::parseUint64("86400000", 1), 86400000u);
+    for (const char *bad : {"0", "", "-1", "+5", "5s0", "5s", "s5",
+                            "5 ", " 5", "5.0", "0x10", "1e3",
+                            "99999999999999999999"})
+        EXPECT_EQ(support::parseUint64(bad, 1), std::nullopt) << bad;
+
+    // --retries: any int >= 0 (0 = quarantine on the first failure).
+    EXPECT_EQ(support::parseInt("0", 0), 0);
+    EXPECT_EQ(support::parseInt("2", 0), 2);
+    EXPECT_EQ(support::parseInt("100", 0), 100);
+    for (const char *bad :
+         {"-1", "", "2x", "x2", "2 ", " 2", "+2", "99999999999"})
+        EXPECT_EQ(support::parseInt(bad, 0), std::nullopt) << bad;
+}
+
+TEST(ParseFailureInjection, AcceptsTheThreeKinds)
+{
+    using FI = fuzzer::FailureInjection;
+    auto crash = fuzzer::parseFailureInjection("crash:7:2");
+    ASSERT_TRUE(crash.has_value());
+    EXPECT_EQ(crash->kind, FI::Kind::Crash);
+    EXPECT_EQ(crash->unit, 7);
+    EXPECT_EQ(crash->attempts, 2);
+
+    auto hang = fuzzer::parseFailureInjection("hang:0:-1");
+    ASSERT_TRUE(hang.has_value());
+    EXPECT_EQ(hang->kind, FI::Kind::Hang);
+    EXPECT_EQ(hang->unit, 0);
+    EXPECT_EQ(hang->attempts, -1); // every attempt
+
+    auto torn = fuzzer::parseFailureInjection("torn:3:1:17");
+    ASSERT_TRUE(torn.has_value());
+    EXPECT_EQ(torn->kind, FI::Kind::TornPipe);
+    EXPECT_EQ(torn->unit, 3);
+    EXPECT_EQ(torn->attempts, 1);
+    EXPECT_EQ(torn->tornBytes, 17u);
+
+    // firesOn: the chosen unit's first `attempts` attempts, all of
+    // them for -1.
+    EXPECT_TRUE(crash->firesOn(7, 0));
+    EXPECT_TRUE(crash->firesOn(7, 1));
+    EXPECT_FALSE(crash->firesOn(7, 2));
+    EXPECT_FALSE(crash->firesOn(6, 0));
+    EXPECT_TRUE(hang->firesOn(0, 999));
+    EXPECT_FALSE(FI{}.firesOn(0, 0)); // Kind::None never fires
+}
+
+TEST(ParseFailureInjection, RejectsMalformedSpecs)
+{
+    for (const char *bad :
+         {"", "crash", "crash:", "crash:7", "crash:7:", "crash:7:0",
+          "crash:-1:1", "crash:7:2:9", "torn:3:1", "torn:3:1:",
+          "torn:3:1:-1", "torn:3:1:9:9", "hang:0:2x", "hang:x:1",
+          "boom:7:1", "Crash:7:1", "crash:7:1 ", " crash:7:1",
+          "crash::1", "crash:7:+1"}) {
+        EXPECT_EQ(fuzzer::parseFailureInjection(bad), std::nullopt)
+            << bad;
+    }
+}
+
 TEST(Rng, DeterministicAndBounded)
 {
     Rng a(42), b(42);
